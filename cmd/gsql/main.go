@@ -1,0 +1,107 @@
+// Command gsql is an interactive SQL shell for the engine, supporting
+// the paper's extended syntax:
+//
+//	select gapply(<per-group query>) [as (<columns>)]
+//	from ... where ... group by <cols> : <variable>
+//
+// Prefix a statement with EXPLAIN to see the optimized plan and the
+// optimizer's cost estimate. Meta commands: \dt lists tables, \q quits.
+//
+// Usage:
+//
+//	gsql [-sf 0.01]        # starts with TPC-H loaded at the scale factor
+//	gsql -sf 0             # starts with an empty catalog
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"gapplydb"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor to preload (0 = empty database)")
+	flag.Parse()
+
+	var db *gapplydb.Database
+	if *sf > 0 {
+		var err error
+		fmt.Printf("loading TPC-H at scale factor %g...\n", *sf)
+		db, err = gapplydb.OpenTPCH(*sf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gsql:", err)
+			os.Exit(1)
+		}
+	} else {
+		db = gapplydb.Open()
+	}
+	fmt.Println(`gsql — GApply SQL shell. \dt lists tables, \q quits; end statements with ';'.`)
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "gsql> "
+	for {
+		fmt.Print(prompt)
+		if !in.Scan() {
+			fmt.Println()
+			return
+		}
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 {
+			switch trimmed {
+			case `\q`, "quit", "exit":
+				return
+			case `\dt`:
+				for _, t := range db.Tables() {
+					fmt.Println(" ", t)
+				}
+				continue
+			case "":
+				continue
+			}
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			prompt = "  ... "
+			continue
+		}
+		stmt := buf.String()
+		buf.Reset()
+		prompt = "gsql> "
+		runStatement(db, stmt, os.Stdout)
+	}
+}
+
+func runStatement(db *gapplydb.Database, stmt string, w io.Writer) {
+	trimmed := strings.TrimSpace(stmt)
+	lower := strings.ToLower(trimmed)
+	if strings.HasPrefix(lower, "explain") {
+		rest := strings.TrimSpace(trimmed[len("explain"):])
+		rest = strings.TrimSuffix(strings.TrimSpace(rest), ";")
+		out, err := db.Explain(rest)
+		if err != nil {
+			fmt.Fprintln(w, "error:", err)
+			return
+		}
+		fmt.Fprint(w, out)
+		return
+	}
+	start := time.Now()
+	res, err := db.Query(strings.TrimSuffix(trimmed, ";"))
+	if err != nil {
+		fmt.Fprintln(w, "error:", err)
+		return
+	}
+	fmt.Fprint(w, res.String())
+	fmt.Fprintf(w, "(%d rows in %v; exec %v)\n",
+		len(res.Rows), time.Since(start).Round(time.Microsecond), res.Elapsed.Round(time.Microsecond))
+}

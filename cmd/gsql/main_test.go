@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"gapplydb"
+)
+
+func shellDB(t *testing.T) *gapplydb.Database {
+	t.Helper()
+	db, err := gapplydb.OpenTPCH(0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestRunStatementSelect(t *testing.T) {
+	db := shellDB(t)
+	var b strings.Builder
+	runStatement(db, "select count(*) from supplier;", &b)
+	out := b.String()
+	if !strings.Contains(out, "10") || !strings.Contains(out, "1 rows") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestRunStatementGApply(t *testing.T) {
+	db := shellDB(t)
+	var b strings.Builder
+	runStatement(db, `select gapply(select count(*) from g) as (n)
+		from partsupp group by ps_suppkey : g;`, &b)
+	if !strings.Contains(b.String(), "rows in") {
+		t.Errorf("output:\n%s", b.String())
+	}
+}
+
+func TestRunStatementExplain(t *testing.T) {
+	db := shellDB(t)
+	var b strings.Builder
+	runStatement(db, "explain select s_name from supplier where s_suppkey = 1;", &b)
+	out := b.String()
+	if !strings.Contains(out, "Scan supplier") || !strings.Contains(out, "estimated cost") {
+		t.Errorf("explain output:\n%s", out)
+	}
+	// Case-insensitive EXPLAIN keyword.
+	b.Reset()
+	runStatement(db, "EXPLAIN select 1 from supplier;", &b)
+	if !strings.Contains(b.String(), "estimated") {
+		t.Errorf("EXPLAIN output:\n%s", b.String())
+	}
+}
+
+func TestRunStatementError(t *testing.T) {
+	db := shellDB(t)
+	var b strings.Builder
+	runStatement(db, "select nosuch from supplier;", &b)
+	if !strings.Contains(b.String(), "error:") {
+		t.Errorf("error not reported:\n%s", b.String())
+	}
+	b.Reset()
+	runStatement(db, "explain select broken from;", &b)
+	if !strings.Contains(b.String(), "error:") {
+		t.Errorf("explain error not reported:\n%s", b.String())
+	}
+}

@@ -1,0 +1,81 @@
+// Command tpchgen generates the TPC-H-style data set and dumps tables
+// as '|'-separated text (dbgen's .tbl format), for inspection or for
+// loading into other systems.
+//
+// Usage:
+//
+//	tpchgen [-sf 0.001] [-table supplier] [-o dir]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gapplydb/internal/storage"
+	"gapplydb/internal/tpch"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.001, "scale factor")
+	table := flag.String("table", "", "dump only this table to stdout")
+	outDir := flag.String("o", "", "write one <table>.tbl file per table into this directory")
+	flag.Parse()
+
+	cat := storage.NewCatalog()
+	if err := tpch.Load(cat, *sf); err != nil {
+		fatal(err)
+	}
+
+	if *table != "" {
+		tab, err := cat.Lookup(*table)
+		if err != nil {
+			fatal(err)
+		}
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		dump(w, tab)
+		return
+	}
+	if *outDir == "" {
+		for _, name := range cat.Names() {
+			tab, _ := cat.Lookup(name)
+			fmt.Printf("%s: %d rows, %d columns\n", name, tab.Cardinality(), tab.Def.Schema.Len())
+		}
+		return
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, name := range cat.Names() {
+		tab, _ := cat.Lookup(name)
+		f, err := os.Create(filepath.Join(*outDir, name+".tbl"))
+		if err != nil {
+			fatal(err)
+		}
+		w := bufio.NewWriter(f)
+		dump(w, tab)
+		w.Flush()
+		f.Close()
+		fmt.Printf("wrote %s.tbl (%d rows)\n", name, tab.Cardinality())
+	}
+}
+
+func dump(w *bufio.Writer, tab *storage.Table) {
+	for _, r := range tab.Rows {
+		for i, v := range r {
+			if i > 0 {
+				w.WriteByte('|')
+			}
+			w.WriteString(v.String())
+		}
+		w.WriteByte('\n')
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tpchgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Optimizer tour: shows each of the paper's §4 transformation rules
+// firing, by printing the plan with the rule disabled and enabled.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gapplydb"
+)
+
+type demo struct {
+	title string
+	rule  string
+	query string
+	force bool
+	both  []gapplydb.QueryOption
+}
+
+func main() {
+	db, err := gapplydb.OpenTPCH(0.001)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	demos := []demo{
+		{
+			title: "Placing Selections Before GApply (§4.1, Theorem 1)",
+			rule:  "selection-before-gapply",
+			query: `select gapply(select p_name from g where p_brand = 'Brand#11')
+				from partsupp, part where ps_partkey = p_partkey
+				group by ps_suppkey : g`,
+		},
+		{
+			title: "Placing Projections Before GApply (§4.1)",
+			rule:  "projection-before-gapply",
+			query: `select gapply(select avg(p_retailprice) from g) as (ap)
+				from partsupp, part where ps_partkey = p_partkey
+				group by ps_suppkey : g`,
+			both: []gapplydb.QueryOption{gapplydb.WithoutRule("gapply-to-groupby")},
+		},
+		{
+			title: "Converting GApply to groupby (§4.1)",
+			rule:  "gapply-to-groupby",
+			query: `select gapply(select avg(p_retailprice), count(*) from g) as (ap, n)
+				from partsupp, part where ps_partkey = p_partkey
+				group by ps_suppkey : g`,
+		},
+		{
+			title: "Group Selection via exists (§4.2, Figure 5)",
+			rule:  "group-selection-exists",
+			force: true,
+			query: `select gapply(select * from g where exists
+					(select p_partkey from g where p_retailprice > 2050))
+				from partsupp, part where ps_partkey = p_partkey
+				group by ps_suppkey : g`,
+		},
+		{
+			title: "Group Selection via aggregates (§4.2)",
+			rule:  "group-selection-aggregate",
+			force: true,
+			query: `select gapply(select * from g where
+					(select avg(p_retailprice) from g) > 1500)
+				from partsupp, part where ps_partkey = p_partkey
+				group by ps_suppkey : g`,
+		},
+		{
+			title: "Invariant Grouping: GApply below foreign-key joins (§4.3, Figure 7)",
+			rule:  "invariant-grouping",
+			force: true,
+			query: `select gapply(select s_name, p_name, p_retailprice from g
+					where p_retailprice = (select min(p_retailprice) from g))
+				from partsupp, part, supplier
+				where ps_partkey = p_partkey and ps_suppkey = s_suppkey
+				group by s_suppkey : g`,
+		},
+	}
+
+	for _, d := range demos {
+		fmt.Printf("==== %s ====\n", d.title)
+		withoutOpts := append([]gapplydb.QueryOption{gapplydb.WithoutRule(d.rule)}, d.both...)
+		withOpts := append([]gapplydb.QueryOption{}, d.both...)
+		if d.force {
+			withOpts = append(withOpts, gapplydb.ForceRule(d.rule))
+		}
+		before, err := db.Explain(d.query, withoutOpts...)
+		check(err)
+		after, err := db.Explain(d.query, withOpts...)
+		check(err)
+		fmt.Printf("-- rule off:\n%s-- rule on:\n%s\n", before, after)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"gapplydb"
+	"gapplydb/internal/bind"
+	"gapplydb/internal/exec"
+	"gapplydb/internal/schema"
+	"gapplydb/internal/sql"
+	"gapplydb/internal/storage"
+	"gapplydb/internal/types"
+)
+
+// ClientSimResult compares the real server-side GApply against the
+// paper's §5.1 client-side simulation of it on query Q4.
+type ClientSimResult struct {
+	ServerSide time.Duration
+	ClientSide time.Duration
+	Rows       int
+}
+
+// Overhead is how much slower the client-side simulation runs; the
+// paper reports ≈20% for Q4 and argues the simulation is conservative,
+// i.e. real server-side numbers would beat the client-simulated ones in
+// Figure 8.
+func (r ClientSimResult) Overhead() float64 {
+	return Ratio(r.ClientSide, r.ServerSide)
+}
+
+// ClientSim runs Q4 both ways. The simulation follows §5.1: the outer
+// query's result is materialized sorted by the grouping columns (the
+// partition phase as an ORDER BY), each group's range is copied into a
+// temporary relation, and the per-group query is executed against it —
+// paying materialization, copying and per-query overheads, exactly the
+// costs the paper's methodology acknowledges over-counting.
+func ClientSim(db *gapplydb.Database) (ClientSimResult, error) {
+	server, _, err := timeQuery(db, q4GApply)
+	if err != nil {
+		return ClientSimResult{}, err
+	}
+
+	// Client-side simulation.
+	const outerQ = `
+		select ps_suppkey, p_size, p_name, p_retailprice
+		from partsupp, part where ps_partkey = p_partkey
+		order by ps_suppkey, p_size`
+	const pgq = `
+		select p_name, p_retailprice from tmpg
+		where p_retailprice > (select avg(p_retailprice) from tmpg)`
+
+	best := time.Duration(0)
+	rows := 0
+	for rep := 0; rep < Repeats; rep++ {
+		start := time.Now()
+		n, err := runClientSim(db, outerQ, pgq)
+		if err != nil {
+			return ClientSimResult{}, err
+		}
+		elapsed := time.Since(start)
+		if rep == 0 || elapsed < best {
+			best = elapsed
+		}
+		rows = n
+	}
+	return ClientSimResult{ServerSide: server, ClientSide: best, Rows: rows}, nil
+}
+
+func runClientSim(db *gapplydb.Database, outerQ, pgq string) (int, error) {
+	outer, err := db.Query(outerQ)
+	if err != nil {
+		return 0, err
+	}
+	// Scratch catalog holding the per-group temporary relation.
+	scratch := storage.NewCatalog()
+	tmp, err := scratch.Create(&schema.TableDef{
+		Name: "tmpg",
+		Schema: schema.New(
+			schema.Column{Name: "ps_suppkey", Type: types.KindInt},
+			schema.Column{Name: "p_size", Type: types.KindInt},
+			schema.Column{Name: "p_name", Type: types.KindString},
+			schema.Column{Name: "p_retailprice", Type: types.KindFloat},
+		),
+	})
+	if err != nil {
+		return 0, err
+	}
+	stmt, _, err := sql.Parse(pgq)
+	if err != nil {
+		return 0, err
+	}
+
+	toRow := func(vals []any) (types.Row, error) {
+		r := make(types.Row, len(vals))
+		for i, v := range vals {
+			switch x := v.(type) {
+			case nil:
+				r[i] = types.Null
+			case int64:
+				r[i] = types.NewInt(x)
+			case float64:
+				r[i] = types.NewFloat(x)
+			case string:
+				r[i] = types.NewString(x)
+			case bool:
+				r[i] = types.NewBool(x)
+			default:
+				return nil, fmt.Errorf("experiments: unsupported value %T", v)
+			}
+		}
+		return r, nil
+	}
+
+	results := 0
+	flush := func() error {
+		if len(tmp.Rows) == 0 {
+			return nil
+		}
+		// Per-group binding and execution: the per-query overhead the
+		// paper's simulation methodology pays on every group.
+		plan, err := bind.New(scratch).Bind(stmt)
+		if err != nil {
+			return err
+		}
+		res, err := exec.Run(plan, exec.NewContext(scratch))
+		if err != nil {
+			return err
+		}
+		results += len(res.Rows)
+		tmp.Rows = tmp.Rows[:0]
+		return nil
+	}
+
+	var curKey [2]any
+	haveKey := false
+	for _, row := range outer.Rows {
+		key := [2]any{row[0], row[1]}
+		if haveKey && key != curKey {
+			if err := flush(); err != nil {
+				return 0, err
+			}
+		}
+		curKey, haveKey = key, true
+		r, err := toRow(row)
+		if err != nil {
+			return 0, err
+		}
+		tmp.Rows = append(tmp.Rows, r)
+	}
+	if err := flush(); err != nil {
+		return 0, err
+	}
+	return results, nil
+}

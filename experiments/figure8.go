@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"time"
+
+	"gapplydb"
+	"gapplydb/xmlpub"
+)
+
+// Figure8Row is one bar of Figure 8: a query's execution time without
+// GApply (sorted-outer-union / flat-SQL plan) and with it.
+type Figure8Row struct {
+	Query   string
+	Without time.Duration
+	With    time.Duration
+	// RowsWithout/RowsWith sanity-check that both plans did the same
+	// logical work (the "without" plan may emit 0-count rows differently
+	// on empty subsets; see the Q2 note in EXPERIMENTS.md).
+	RowsWithout int
+	RowsWith    int
+}
+
+// Speedup is the Figure 8 y-axis value.
+func (r Figure8Row) Speedup() float64 { return Ratio(r.Without, r.With) }
+
+// q4GApply is the paper's Q4 in the extended syntax: per (supplier,
+// size), the parts priced above that group's average.
+const q4GApply = `
+	select gapply(select p_name, p_retailprice from g
+	              where p_retailprice > (select avg(p_retailprice) from g))
+	from partsupp, part
+	where ps_partkey = p_partkey
+	group by ps_suppkey, p_size : g`
+
+// q4Flat is the paper's §5.2 SQL formulation of Q4: join the grouped
+// averages back with another copy of the join.
+const q4Flat = `
+	select tmp.k1, p_name, p_size, p_retailprice
+	from (select ps_suppkey, p_size, avg(p_retailprice)
+	      from partsupp, part
+	      where p_partkey = ps_partkey
+	      group by ps_suppkey, p_size) as tmp(k1, k2, avgprice),
+	     partsupp, part
+	where ps_partkey = p_partkey
+	  and ps_suppkey = tmp.k1
+	  and p_size = tmp.k2
+	  and p_retailprice > tmp.avgprice
+	order by tmp.k1`
+
+// Figure8 measures Q1–Q4 with and without GApply. The "without" plans
+// are the sorted-outer-union translations (Q1–Q3) and the flat SQL
+// formulation (Q4), run through the full optimizer — including
+// decorrelation, so the baseline is what a production engine without
+// GApply would execute, not a naive per-row re-evaluation.
+func Figure8(db *gapplydb.Database) ([]Figure8Row, error) {
+	type pair struct {
+		name          string
+		without, with string
+	}
+	pairs := []pair{
+		{"Q1", xmlpub.Q1().SortedOuterUnionSQL(), xmlpub.Q1().GApplySQL()},
+		{"Q2", xmlpub.Q2().SortedOuterUnionSQL(), xmlpub.Q2().GApplySQL()},
+		{"Q3", xmlpub.Q3(0.9, 1.1).SortedOuterUnionSQL(), xmlpub.Q3(0.9, 1.1).GApplySQL()},
+		{"Q4", q4Flat, q4GApply},
+	}
+	var out []Figure8Row
+	for _, p := range pairs {
+		tw, resW, err := timeQuery(db, p.without)
+		if err != nil {
+			return nil, err
+		}
+		tg, resG, err := timeQuery(db, p.with)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Figure8Row{
+			Query: p.name, Without: tw, With: tg,
+			RowsWithout: len(resW.Rows), RowsWith: len(resG.Rows),
+		})
+	}
+	return out, nil
+}

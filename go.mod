@@ -1,0 +1,3 @@
+module gapplydb
+
+go 1.22

@@ -1,0 +1,267 @@
+package gapplydb_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"gapplydb"
+	"gapplydb/xmlpub"
+)
+
+// The integration battery runs every workload query under every
+// optimizer configuration and checks all configurations compute the
+// same multiset — end-to-end semantics preservation over real TPC-H
+// data, the strongest cross-module invariant the engine has.
+
+var (
+	integOnce sync.Once
+	integDB   *gapplydb.Database
+)
+
+func integDatabase(t *testing.T) *gapplydb.Database {
+	t.Helper()
+	integOnce.Do(func() {
+		db, err := gapplydb.OpenTPCH(0.001)
+		if err != nil {
+			panic(err)
+		}
+		integDB = db
+	})
+	return integDB
+}
+
+// workloadQuery marks statements whose raw (un-optimized) plan is a
+// 3-way-or-worse cross product: executing those without selection
+// pushdown is intractable even at tiny scale, so the no-optimizer
+// configuration skips them.
+type workloadQuery struct {
+	sql   string
+	heavy bool
+}
+
+// workloadQueries is the full battery: the paper's evaluation queries,
+// the rule-benchmark queries, and general SQL covering every operator.
+func workloadQueries() []workloadQuery {
+	qs := []string{
+		// Figure 8 queries, both translations.
+		xmlpub.Q1().GApplySQL(),
+		xmlpub.Q1().SortedOuterUnionSQL(),
+		xmlpub.Q2().GApplySQL(),
+		xmlpub.Q3(0.9, 1.1).GApplySQL(),
+		xmlpub.ExpensiveSuppliers(2050).GApplySQL(),
+		xmlpub.RichSuppliers(1500).GApplySQL(),
+		// Q4 both ways.
+		`select gapply(select p_name, p_retailprice from g
+			where p_retailprice > (select avg(p_retailprice) from g))
+		 from partsupp, part where ps_partkey = p_partkey
+		 group by ps_suppkey, p_size : g`,
+		`select tmp.k1, p_name, p_size, p_retailprice
+		 from (select ps_suppkey, p_size, avg(p_retailprice)
+		       from partsupp, part where p_partkey = ps_partkey
+		       group by ps_suppkey, p_size) as tmp(k1, k2, avgprice),
+		      partsupp, part
+		 where ps_partkey = p_partkey and ps_suppkey = tmp.k1
+		   and p_size = tmp.k2 and p_retailprice > tmp.avgprice`,
+		// Invariant grouping shape.
+		`select gapply(select s_name, p_name, p_retailprice from g
+			where p_retailprice = (select min(p_retailprice) from g))
+		 from partsupp, part, supplier
+		 where ps_partkey = p_partkey and ps_suppkey = s_suppkey
+		 group by s_suppkey : g`,
+		// Nested grouping inside the per-group query.
+		`select gapply(select p_size, count(*), avg(p_retailprice) from g group by p_size)
+		 from partsupp, part where ps_partkey = p_partkey
+		 group by ps_suppkey : g`,
+		// Per-group ordering (top-like shapes).
+		`select gapply(select p_name from g order by p_retailprice desc)
+		 from partsupp, part where ps_partkey = p_partkey
+		 group by ps_suppkey : g`,
+		// Plain SQL: joins, grouping, having, order, distinct, exists.
+		`select ps_suppkey, count(*) n, avg(p_retailprice)
+		 from partsupp, part where ps_partkey = p_partkey
+		 group by ps_suppkey having count(*) > 50 order by n desc`,
+		`select distinct p_brand from part order by p_brand`,
+		`select s_name from supplier where exists
+			(select ps_partkey from partsupp where ps_suppkey = s_suppkey)`,
+		`select s_name from supplier where not exists
+			(select ps_partkey from partsupp where ps_suppkey = s_suppkey)`,
+		`select n_name, count(*) from supplier, nation
+		 where s_nationkey = n_nationkey group by n_name`,
+		`select c_mktsegment, avg(o_totalprice) from customer, orders
+		 where c_custkey = o_custkey group by c_mktsegment`,
+		// Correlated scalar subquery (decorrelation path).
+		`select p_name from part
+		 where p_retailprice > 1.05 * (select avg(p_retailprice) from part)`,
+		// Unions of heterogeneous branches.
+		`select p_brand, count(*) from part group by p_brand
+		 union all
+		 select p_brand, min(p_size) from part group by p_brand`,
+	}
+	heavy := map[int]bool{7: true, 8: true} // Q4-flat, invariant (3-way FROM)
+	out := make([]workloadQuery, len(qs))
+	for i, q := range qs {
+		out[i] = workloadQuery{sql: q, heavy: heavy[i]}
+	}
+	return out
+}
+
+// canonical renders a result as order-independent multiset keys.
+func canonical(res *gapplydb.Result) []string {
+	out := make([]string, len(res.Rows))
+	for i, row := range res.Rows {
+		out[i] = fmt.Sprint(row)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalCanonical(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestOptimizerConfigurationsAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("configuration battery skipped in -short mode")
+	}
+	db := integDatabase(t)
+	configs := []struct {
+		name string
+		opts []gapplydb.QueryOption
+	}{
+		{"default", nil},
+		{"no-optimizer", []gapplydb.QueryOption{gapplydb.WithoutOptimizer()}},
+		{"sort-partition", []gapplydb.QueryOption{gapplydb.WithPartition("sort")}},
+		{"hash-partition", []gapplydb.QueryOption{gapplydb.WithPartition("hash")}},
+	}
+	for _, name := range gapplydb.RuleNames() {
+		configs = append(configs, struct {
+			name string
+			opts []gapplydb.QueryOption
+		}{"without-" + name, []gapplydb.QueryOption{gapplydb.WithoutRule(name)}})
+	}
+	forceable := []string{"group-selection-exists", "group-selection-aggregate", "invariant-grouping"}
+	for _, name := range forceable {
+		configs = append(configs, struct {
+			name string
+			opts []gapplydb.QueryOption
+		}{"force-" + name, []gapplydb.QueryOption{gapplydb.ForceRule(name)}})
+	}
+
+	for qi, wq := range workloadQueries() {
+		q := wq.sql
+		base, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("query %d: %v\n%s", qi, err, q)
+		}
+		want := canonical(base)
+		for _, cfg := range configs {
+			if cfg.name == "no-optimizer" && wq.heavy {
+				continue // raw 3-way cross products are intractable
+			}
+			res, err := db.Query(q, cfg.opts...)
+			if err != nil {
+				t.Fatalf("query %d under %s: %v\n%s", qi, cfg.name, err, q)
+			}
+			if !equalCanonical(want, canonical(res)) {
+				plan, _ := db.Explain(q, cfg.opts...)
+				t.Fatalf("query %d: config %s changed results (%d vs %d rows)\nquery: %s\nplan:\n%s",
+					qi, cfg.name, len(base.Rows), len(res.Rows), q, plan)
+			}
+		}
+	}
+}
+
+func TestWorkloadResultsAreSane(t *testing.T) {
+	db := integDatabase(t)
+	// Cross-check a few computed values against directly computed facts.
+	parts, err := db.Query("select count(*), avg(p_retailprice), min(p_retailprice), max(p_retailprice) from part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := parts.Rows[0][0].(int64)
+	avg := parts.Rows[0][1].(float64)
+	lo := parts.Rows[0][2].(float64)
+	hi := parts.Rows[0][3].(float64)
+	if n != 200 {
+		t.Errorf("parts = %d", n)
+	}
+	if lo < 900 || hi > 2100 || avg < lo || avg > hi {
+		t.Errorf("price stats insane: lo=%v avg=%v hi=%v", lo, avg, hi)
+	}
+	// Per-supplier group counts must sum to |partsupp|.
+	res, err := db.Query(`select gapply(select count(*) from g) as (n)
+		from partsupp, part where ps_partkey = p_partkey group by ps_suppkey : g`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, r := range res.Rows {
+		sum += r[1].(int64)
+	}
+	ps, _ := db.Query("select count(*) from partsupp")
+	if sum != ps.Rows[0][0].(int64) {
+		t.Errorf("group counts sum %d != |partsupp| %v", sum, ps.Rows[0][0])
+	}
+}
+
+func TestGApplyOutputClusteredOnTPCH(t *testing.T) {
+	// The clustering guarantee the constant-space tagger depends on, on
+	// real data and under both partition strategies.
+	db := integDatabase(t)
+	for _, strategy := range []string{"hash", "sort"} {
+		res, err := db.Query(xmlpub.Q1().GApplySQL(), gapplydb.WithPartition(strategy))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[any]bool{}
+		var cur any
+		for i, row := range res.Rows {
+			k := row[0]
+			if i == 0 || k != cur {
+				if seen[k] {
+					t.Fatalf("[%s] key %v appears in two separate runs", strategy, k)
+				}
+				seen[k] = true
+				cur = k
+			}
+		}
+	}
+}
+
+func TestXMLPublishingOnTPCH(t *testing.T) {
+	db := integDatabase(t)
+	for _, q := range []*xmlpub.FLWR{xmlpub.Q1(), xmlpub.Q2(), xmlpub.Q3(0.9, 1.1)} {
+		var ga, sou stringsBuilder
+		if _, err := xmlpub.Publish(db, q, xmlpub.GApply, &ga); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := xmlpub.Publish(db, q, xmlpub.SortedOuterUnion, &sou); err != nil {
+			t.Fatal(err)
+		}
+		if ga.String() != sou.String() {
+			t.Errorf("strategies disagree on TPC-H data for %T", q)
+		}
+		if len(ga.String()) == 0 {
+			t.Error("empty document")
+		}
+	}
+}
+
+// stringsBuilder avoids importing strings just for Builder in this file.
+type stringsBuilder struct{ buf []byte }
+
+func (b *stringsBuilder) Write(p []byte) (int, error) {
+	b.buf = append(b.buf, p...)
+	return len(p), nil
+}
+func (b *stringsBuilder) String() string { return string(b.buf) }

@@ -1,0 +1,228 @@
+// Package analyze implements the paper's static analyses over per-group
+// queries:
+//
+//   - EmptyOnEmpty (§4.1): does the tree produce empty output on an empty
+//     group? Aggregates break this (count(*) of φ is a row), which is why
+//     selection pushing must check it.
+//   - CoveringRange (§4.1): the minimal selection on the group such that
+//     evaluating the per-group query on the selected subset equals
+//     evaluating it on the whole group (Theorem 1).
+//   - GpEvalColumns (§4.3): the columns a per-group query *needs* —
+//     selection/grouping/aggregation/ordering columns, but not plainly
+//     projected ones, which later joins could re-attach (invariant
+//     grouping).
+//   - ReferencedGroupColumns: every group column the per-group query
+//     touches (projection pruning needs these plus the grouping columns).
+package analyze
+
+import (
+	"gapplydb/internal/core"
+	"gapplydb/internal/schema"
+)
+
+// EmptyOnEmpty reports whether the tree rooted at n produces an empty
+// result when every GroupScan in it yields the empty relation. The
+// traversal mirrors the paper's bit-setting rules.
+func EmptyOnEmpty(n core.Node) bool {
+	switch x := n.(type) {
+	case *core.GroupScan:
+		return true
+	case *core.Scan:
+		// A base-table scan does not depend on the group at all; it can
+		// produce rows for an empty group.
+		return false
+	case *core.Select, *core.Project, *core.Distinct, *core.GroupBy, *core.OrderBy:
+		return EmptyOnEmpty(n.Children()[0])
+	case *core.Exists:
+		if x.Negated {
+			// NOT EXISTS of an empty input produces a row.
+			return false
+		}
+		return EmptyOnEmpty(x.Input)
+	case *core.AggOp:
+		return false
+	case *core.Apply:
+		return EmptyOnEmpty(x.Outer)
+	case *core.UnionAll:
+		for _, c := range x.Inputs {
+			if !EmptyOnEmpty(c) {
+				return false
+			}
+		}
+		return true
+	case *core.Join:
+		// An inner join is empty if either side is; a left-outer only if
+		// the left side is.
+		if x.Kind == core.LeftOuterJoin {
+			return EmptyOnEmpty(x.Left)
+		}
+		return EmptyOnEmpty(x.Left) || EmptyOnEmpty(x.Right)
+	case *core.GApply:
+		// GApply over an empty input forms no groups.
+		return EmptyOnEmpty(x.Outer)
+	default:
+		// Unknown operators are conservatively assumed to produce output.
+		return false
+	}
+}
+
+// CoveringRange computes the covering range of the tree rooted at n as a
+// predicate over the group's columns (nil means "the whole group", the
+// boolean condition true). groupSchema is the schema of the group
+// variable; conditions mentioning columns outside it (e.g. apply-produced
+// subquery columns) poison their select into contributing nothing, which
+// the paper's rules achieve by the apply/aggregate-descendant check.
+func CoveringRange(n core.Node, groupSchema *schema.Schema) core.Expr {
+	switch x := n.(type) {
+	case *core.GroupScan:
+		return nil // true: the whole group
+	case *core.Select:
+		child := CoveringRange(x.Input, groupSchema)
+		// "If it has an apply, groupby or aggregate descendant, then it is
+		// the same as the covering range of its child."
+		if hasBlockingDescendant(x.Input) || !condOverSchema(x.Cond, groupSchema) {
+			return child
+		}
+		if child == nil {
+			return x.Cond
+		}
+		return core.AndAll([]core.Expr{child, x.Cond})
+	case *core.Project, *core.Distinct, *core.OrderBy, *core.GroupBy, *core.AggOp, *core.Exists:
+		return CoveringRange(n.Children()[0], groupSchema)
+	case *core.Apply:
+		return disjoin(CoveringRange(x.Outer, groupSchema), CoveringRange(x.Inner, groupSchema))
+	case *core.UnionAll:
+		var acc core.Expr
+		hasAny := false
+		for i, c := range x.Inputs {
+			r := CoveringRange(c, groupSchema)
+			if r == nil {
+				return nil // one branch needs the whole group
+			}
+			if i == 0 {
+				acc, hasAny = r, true
+			} else {
+				acc = disjoin(acc, r)
+			}
+		}
+		if !hasAny {
+			return nil
+		}
+		return acc
+	default:
+		return nil
+	}
+}
+
+// disjoin ORs two covering ranges; nil (true) absorbs everything.
+func disjoin(a, b core.Expr) core.Expr {
+	if a == nil || b == nil {
+		return nil
+	}
+	return &core.Or{Ops: []core.Expr{a, b}}
+}
+
+// hasBlockingDescendant reports whether the tree contains an apply,
+// groupby or aggregate — the operators below which a selection's
+// condition no longer describes a subset of the raw group.
+func hasBlockingDescendant(n core.Node) bool {
+	found := false
+	core.Walk(n, func(m core.Node) {
+		switch m.(type) {
+		case *core.Apply, *core.GroupBy, *core.AggOp:
+			found = true
+		}
+	})
+	return found
+}
+
+// condOverSchema reports whether every column the condition references
+// resolves in the group schema (no apply-columns, no outer refs).
+func condOverSchema(cond core.Expr, groupSchema *schema.Schema) bool {
+	if cond == nil {
+		return true
+	}
+	if core.HasOuterRefs(cond) {
+		return false
+	}
+	for _, c := range core.ColRefsIn(cond) {
+		if !groupSchema.Has(c.Table, c.Name) {
+			return false
+		}
+	}
+	return true
+}
+
+// GpEvalColumns computes the paper's gp-eval columns of a per-group
+// query: the columns needed to *evaluate* it (selection, grouping,
+// aggregation, ordering), excluding plainly projected columns. Only
+// columns that resolve in the group schema are returned.
+func GpEvalColumns(n core.Node, groupSchema *schema.Schema) []*core.ColRef {
+	cols := evalCols(n)
+	var out []*core.ColRef
+	for _, c := range cols {
+		if groupSchema.Has(c.Table, c.Name) {
+			out = append(out, c)
+		}
+	}
+	return core.DedupCols(out)
+}
+
+func evalCols(n core.Node) []*core.ColRef {
+	switch x := n.(type) {
+	case *core.GroupScan, *core.Scan:
+		return nil
+	case *core.Select:
+		return append(evalCols(x.Input), core.ColRefsIn(x.Cond)...)
+	case *core.GroupBy:
+		out := evalCols(x.Input)
+		out = append(out, x.GroupCols...)
+		for _, a := range x.Aggs {
+			out = append(out, core.ColRefsIn(a.Arg)...)
+		}
+		return out
+	case *core.AggOp:
+		out := evalCols(x.Input)
+		for _, a := range x.Aggs {
+			out = append(out, core.ColRefsIn(a.Arg)...)
+		}
+		return out
+	case *core.OrderBy:
+		out := evalCols(x.Input)
+		for _, k := range x.Keys {
+			out = append(out, core.ColRefsIn(k.Expr)...)
+		}
+		return out
+	case *core.Project, *core.Distinct, *core.Exists:
+		return evalCols(n.Children()[0])
+	case *core.Apply:
+		return append(evalCols(x.Outer), evalCols(x.Inner)...)
+	case *core.UnionAll:
+		var out []*core.ColRef
+		for _, c := range x.Inputs {
+			out = append(out, evalCols(c)...)
+		}
+		return out
+	case *core.Join:
+		out := append(evalCols(x.Left), evalCols(x.Right)...)
+		return append(out, core.ColRefsIn(x.Cond)...)
+	default:
+		var out []*core.ColRef
+		for _, c := range n.Children() {
+			out = append(out, evalCols(c)...)
+		}
+		return out
+	}
+}
+
+// ReferencedGroupColumns returns every group column the per-group query
+// references anywhere — the set the projection-before-GApply rule keeps.
+func ReferencedGroupColumns(pgq core.Node, groupSchema *schema.Schema) []*core.ColRef {
+	var out []*core.ColRef
+	for _, c := range core.ReferencedColumns(pgq) {
+		if groupSchema.Has(c.Table, c.Name) {
+			out = append(out, c)
+		}
+	}
+	return core.DedupCols(out)
+}

@@ -1,0 +1,208 @@
+package analyze
+
+import (
+	"testing"
+
+	"gapplydb/internal/core"
+	"gapplydb/internal/schema"
+	"gapplydb/internal/types"
+)
+
+func groupSchema() *schema.Schema {
+	return schema.New(
+		schema.Column{Table: "partsupp", Name: "ps_suppkey", Type: types.KindInt},
+		schema.Column{Table: "part", Name: "p_name", Type: types.KindString},
+		schema.Column{Table: "part", Name: "p_brand", Type: types.KindString},
+		schema.Column{Table: "part", Name: "p_retailprice", Type: types.KindFloat},
+	)
+}
+
+func gs() *core.GroupScan { return &core.GroupScan{Var: "g", Sch: groupSchema()} }
+
+func brandSel(brand string, in core.Node) *core.Select {
+	return &core.Select{Input: in, Cond: &core.Cmp{Op: "=", L: core.Col("p_brand"), R: core.LitStr(brand)}}
+}
+
+func TestEmptyOnEmptyRules(t *testing.T) {
+	cases := []struct {
+		name string
+		n    core.Node
+		want bool
+	}{
+		{"groupscan", gs(), true},
+		{"select", brandSel("Brand#A", gs()), true},
+		{"project", core.ProjectCols(gs(), []*core.ColRef{core.Col("p_name")}), true},
+		{"distinct", &core.Distinct{Input: gs()}, true},
+		{"orderby", &core.OrderBy{Input: gs(), Keys: []core.OrderKey{{Expr: core.Col("p_name")}}}, true},
+		{"groupby", &core.GroupBy{Input: gs(), GroupCols: []*core.ColRef{core.Col("p_brand")},
+			Aggs: []core.AggSpec{{Fn: "count", Star: true}}}, true},
+		{"aggregate", &core.AggOp{Input: gs(), Aggs: []core.AggSpec{{Fn: "count", Star: true}}}, false},
+		{"exists", &core.Exists{Input: gs()}, true},
+		{"not-exists", &core.Exists{Input: gs(), Negated: true}, false},
+		{"apply outer empty", &core.Apply{Outer: gs(), Inner: &core.AggOp{Input: gs(),
+			Aggs: []core.AggSpec{{Fn: "avg", Arg: core.Col("p_retailprice")}}}}, true},
+		{"apply outer agg", &core.Apply{Outer: &core.AggOp{Input: gs(),
+			Aggs: []core.AggSpec{{Fn: "count", Star: true}}}, Inner: gs()}, false},
+		{"unionall all empty", &core.UnionAll{Inputs: []core.Node{gs(), brandSel("Brand#B", gs())}}, true},
+		{"unionall with agg branch", &core.UnionAll{Inputs: []core.Node{gs(),
+			&core.AggOp{Input: gs(), Aggs: []core.AggSpec{{Fn: "count", Star: true}}}}}, false},
+	}
+	for _, c := range cases {
+		if got := EmptyOnEmpty(c.n); got != c.want {
+			t.Errorf("%s: EmptyOnEmpty = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestEmptyOnEmptyPaperQ1(t *testing.T) {
+	// Q1's PGQ unions a projection branch with an aggregate branch; the
+	// aggregate branch produces a row on empty input, so the whole PGQ is
+	// NOT emptyOnEmpty — the selection rule must not fire on Q1.
+	pgq := &core.UnionAll{Inputs: []core.Node{
+		core.ProjectCols(gs(), []*core.ColRef{core.Col("p_name"), core.Col("p_retailprice")}),
+		&core.AggOp{Input: gs(), Aggs: []core.AggSpec{{Fn: "avg", Arg: core.Col("p_retailprice")}}},
+	}}
+	if EmptyOnEmpty(pgq) {
+		t.Error("Q1's PGQ must not be emptyOnEmpty")
+	}
+}
+
+func TestCoveringRangeSimpleSelect(t *testing.T) {
+	pgq := core.ProjectCols(brandSel("Brand#A", gs()), []*core.ColRef{core.Col("p_name")})
+	cr := CoveringRange(pgq, groupSchema())
+	if cr == nil {
+		t.Fatal("covering range must be the brand selection")
+	}
+	want := &core.Cmp{Op: "=", L: core.Col("p_brand"), R: core.LitStr("Brand#A")}
+	if !core.ExprEqual(cr, want) {
+		t.Errorf("covering range = %s", cr)
+	}
+}
+
+func TestCoveringRangeFigure3(t *testing.T) {
+	// Figure 3: parts of brand A priced above the average of brand B.
+	// PGQ = σ_{brand=A ∧ price > avgB}(Apply(g, avg(σ_{brand=B} g))).
+	// The apply disjoins the two branches: range = (brand=A) ∨ (brand=B)?
+	// No — the outer select sits ABOVE the apply, so its condition is
+	// skipped (apply descendant); the covering range comes from the apply:
+	// whole group on the outer side? The outer of the apply is σ_{brand=A}
+	// *below* the apply in the paper's tree. Model it that way:
+	avgB := &core.AggOp{
+		Input: brandSel("Brand#B", gs()),
+		Aggs:  []core.AggSpec{{Fn: "avg", Arg: core.Col("p_retailprice"), As: "avgB"}},
+	}
+	pgq := &core.Select{
+		Input: &core.Apply{Outer: brandSel("Brand#A", gs()), Inner: avgB},
+		Cond:  &core.Cmp{Op: ">", L: core.Col("p_retailprice"), R: core.Col("avgB")},
+	}
+	cr := CoveringRange(pgq, groupSchema())
+	want := &core.Or{Ops: []core.Expr{
+		&core.Cmp{Op: "=", L: core.Col("p_brand"), R: core.LitStr("Brand#A")},
+		&core.Cmp{Op: "=", L: core.Col("p_brand"), R: core.LitStr("Brand#B")},
+	}}
+	if !core.ExprEqual(cr, want) {
+		t.Errorf("covering range = %v, want %v", cr, want)
+	}
+}
+
+func TestCoveringRangeSelectAboveAggregateIsSkipped(t *testing.T) {
+	// A select above an aggregate filters aggregate output, not group
+	// rows; its condition must not enter the range.
+	pgq := &core.Select{
+		Input: &core.AggOp{Input: gs(), Aggs: []core.AggSpec{{Fn: "avg", Arg: core.Col("p_retailprice"), As: "a"}}},
+		Cond:  &core.Cmp{Op: ">", L: core.Col("a"), R: core.LitFloat(10)},
+	}
+	if cr := CoveringRange(pgq, groupSchema()); cr != nil {
+		t.Errorf("covering range = %v, want whole group", cr)
+	}
+}
+
+func TestCoveringRangeUnion(t *testing.T) {
+	// Q3's shape: branch A selects high-end, branch B low-end; the range
+	// is the disjunction.
+	hi := brandSel("Brand#A", gs())
+	lo := brandSel("Brand#B", gs())
+	pgq := &core.UnionAll{Inputs: []core.Node{hi, lo}}
+	cr := CoveringRange(pgq, groupSchema())
+	want := &core.Or{Ops: []core.Expr{
+		&core.Cmp{Op: "=", L: core.Col("p_brand"), R: core.LitStr("Brand#A")},
+		&core.Cmp{Op: "=", L: core.Col("p_brand"), R: core.LitStr("Brand#B")},
+	}}
+	if !core.ExprEqual(cr, want) {
+		t.Errorf("union covering range = %v", cr)
+	}
+	// A branch scanning the whole group absorbs the range.
+	pgq2 := &core.UnionAll{Inputs: []core.Node{hi, gs()}}
+	if cr := CoveringRange(pgq2, groupSchema()); cr != nil {
+		t.Errorf("whole-group branch must absorb: %v", cr)
+	}
+}
+
+func TestCoveringRangeStackedSelects(t *testing.T) {
+	inner := brandSel("Brand#A", gs())
+	outer := &core.Select{Input: inner, Cond: &core.Cmp{Op: ">", L: core.Col("p_retailprice"), R: core.LitFloat(5)}}
+	cr := CoveringRange(outer, groupSchema())
+	want := &core.And{Ops: []core.Expr{
+		&core.Cmp{Op: "=", L: core.Col("p_brand"), R: core.LitStr("Brand#A")},
+		&core.Cmp{Op: ">", L: core.Col("p_retailprice"), R: core.LitFloat(5)},
+	}}
+	if !core.ExprEqual(cr, want) {
+		t.Errorf("stacked selects range = %v", cr)
+	}
+}
+
+func TestCoveringRangeForeignColumnPoisons(t *testing.T) {
+	// A selection on a column that is not in the group schema (e.g. an
+	// apply-produced subquery column) contributes nothing.
+	sel := &core.Select{Input: gs(), Cond: &core.Cmp{Op: ">", L: core.Col("__sq1"), R: core.LitFloat(0)}}
+	if cr := CoveringRange(sel, groupSchema()); cr != nil {
+		t.Errorf("foreign column produced a range: %v", cr)
+	}
+}
+
+func TestGpEvalColumns(t *testing.T) {
+	// select p_name from g where p_brand = 'Brand#A' order by p_retailprice:
+	// gp-eval = {p_brand, p_retailprice}; p_name is only projected.
+	pgq := &core.OrderBy{
+		Input: core.ProjectCols(brandSel("Brand#A", gs()), []*core.ColRef{core.Col("p_name"), core.Col("p_retailprice")}),
+		Keys:  []core.OrderKey{{Expr: core.Col("p_retailprice")}},
+	}
+	got := GpEvalColumns(pgq, groupSchema())
+	names := map[string]bool{}
+	for _, c := range got {
+		names[c.Name] = true
+	}
+	if !names["p_brand"] || !names["p_retailprice"] || names["p_name"] {
+		t.Errorf("gp-eval = %v", got)
+	}
+}
+
+func TestGpEvalColumnsAggregatesAndGrouping(t *testing.T) {
+	pgq := &core.GroupBy{
+		Input:     gs(),
+		GroupCols: []*core.ColRef{core.Col("p_brand")},
+		Aggs:      []core.AggSpec{{Fn: "min", Arg: core.Col("p_retailprice")}},
+	}
+	got := GpEvalColumns(pgq, groupSchema())
+	if len(got) != 2 {
+		t.Errorf("gp-eval = %v", got)
+	}
+	// Pure projection needs nothing.
+	proj := core.ProjectCols(gs(), []*core.ColRef{core.Col("p_name")})
+	if got := GpEvalColumns(proj, groupSchema()); len(got) != 0 {
+		t.Errorf("projection-only gp-eval = %v", got)
+	}
+}
+
+func TestReferencedGroupColumns(t *testing.T) {
+	pgq := core.ProjectCols(brandSel("Brand#A", gs()), []*core.ColRef{core.Col("p_name")})
+	got := ReferencedGroupColumns(pgq, groupSchema())
+	names := map[string]bool{}
+	for _, c := range got {
+		names[c.Name] = true
+	}
+	// Projection pruning must keep projected AND selected columns.
+	if !names["p_name"] || !names["p_brand"] || len(got) != 2 {
+		t.Errorf("referenced = %v", got)
+	}
+}

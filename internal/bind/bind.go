@@ -1,0 +1,663 @@
+// Package bind lowers SQL ASTs to the logical algebra. It performs name
+// resolution (including correlation: references that resolve only in an
+// enclosing query become OuterRefs), normalizes subqueries into Apply
+// operators (the paper's "apply is a logical operator that models a
+// subquery"), hoists aggregates into GroupBy/Aggregate operators, and
+// builds GApply nodes from the extended syntax.
+package bind
+
+import (
+	"fmt"
+	"strings"
+
+	"gapplydb/internal/core"
+	"gapplydb/internal/schema"
+	"gapplydb/internal/sql"
+	"gapplydb/internal/storage"
+	"gapplydb/internal/types"
+)
+
+// Binder lowers statements against a catalog.
+type Binder struct {
+	cat *storage.Catalog
+	seq int // unique-name counter for __sq/__agg columns
+}
+
+// New returns a binder over the catalog.
+func New(cat *storage.Catalog) *Binder { return &Binder{cat: cat} }
+
+// Bind lowers a parsed statement to a logical plan.
+func (b *Binder) Bind(stmt *sql.SelectStmt) (core.Node, error) {
+	return b.bindSelect(stmt, nil)
+}
+
+// scope is one level of name visibility: the current FROM's schema, the
+// group variables visible at this level, and the enclosing scope.
+type scope struct {
+	parent    *scope
+	sch       *schema.Schema
+	groupVar  string // active group variable (its qualifier is stripped)
+	groupVars map[string]*schema.Schema
+}
+
+// lookupGroupVar finds a visible group variable's schema.
+func (s *scope) lookupGroupVar(name string) (*schema.Schema, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		for v, sch := range sc.groupVars {
+			if strings.EqualFold(v, name) {
+				return sch, true
+			}
+		}
+	}
+	return nil, false
+}
+
+func (b *Binder) fresh(prefix string) string {
+	b.seq++
+	return fmt.Sprintf("__%s%d", prefix, b.seq)
+}
+
+// bindSelect handles the union chain and the trailing ORDER BY.
+func (b *Binder) bindSelect(stmt *sql.SelectStmt, parent *scope) (core.Node, error) {
+	plan, err := b.bindCore(stmt, parent)
+	if err != nil {
+		return nil, err
+	}
+	for cur := stmt; cur.SetOp != nil; cur = cur.SetOp.Right {
+		right, err := b.bindCore(cur.SetOp.Right, parent)
+		if err != nil {
+			return nil, err
+		}
+		if right.Schema().Len() != plan.Schema().Len() {
+			return nil, fmt.Errorf("bind: union branches have %d and %d columns",
+				plan.Schema().Len(), right.Schema().Len())
+		}
+		var u core.Node = &core.UnionAll{Inputs: []core.Node{plan, right}}
+		if !cur.SetOp.All {
+			u = &core.Distinct{Input: u}
+		}
+		plan = u
+	}
+	if len(stmt.OrderBy) > 0 {
+		plan, err = b.bindOrderBy(plan, stmt.OrderBy, parent)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return plan, nil
+}
+
+// bindOrderBy attaches an OrderBy, preferring the output schema; when a
+// key only resolves against the input of a top Project (SQL allows
+// ordering by a column that is not selected), the sort goes below it.
+func (b *Binder) bindOrderBy(plan core.Node, items []sql.OrderItem, parent *scope) (core.Node, error) {
+	tryBind := func(sch *schema.Schema) ([]core.OrderKey, error) {
+		sc := &scope{parent: parent, sch: sch}
+		keys := make([]core.OrderKey, len(items))
+		for i, it := range items {
+			e, err := b.bindExpr(it.Expr, sc, nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			if !colRefsResolve(e, sch) {
+				return nil, fmt.Errorf("bind: ORDER BY key %s does not resolve", e)
+			}
+			keys[i] = core.OrderKey{Expr: e, Desc: it.Desc}
+		}
+		return keys, nil
+	}
+	keys, err := tryBind(plan.Schema())
+	if err == nil {
+		return &core.OrderBy{Input: plan, Keys: keys}, nil
+	}
+	// SQL allows ordering by a column that is not selected: when the plan
+	// tops out in a Project, sort below it.
+	if proj, ok := plan.(*core.Project); ok {
+		if keys, err2 := tryBind(proj.Input.Schema()); err2 == nil {
+			return proj.WithChildren([]core.Node{&core.OrderBy{Input: proj.Input, Keys: keys}}), nil
+		}
+	}
+	return nil, err
+}
+
+func colRefsResolve(e core.Expr, sch *schema.Schema) bool {
+	ok := true
+	for _, c := range core.ColRefsIn(e) {
+		if !sch.Has(c.Table, c.Name) {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// bindCore lowers a single select core (no union chain, no order by).
+func (b *Binder) bindCore(stmt *sql.SelectStmt, parent *scope) (core.Node, error) {
+	if stmt.HasGApply() {
+		return b.bindGApply(stmt, parent)
+	}
+	if stmt.GroupVar != "" {
+		return nil, fmt.Errorf("bind: GROUP BY ... : %s requires a gapply(...) select item", stmt.GroupVar)
+	}
+	plan, origSchema, cur, err := b.bindFromWhere(stmt, parent)
+	if err != nil {
+		return nil, err
+	}
+
+	// Expand stars against the original FROM schema (before WHERE
+	// normalization possibly extended it with subquery columns).
+	items, err := expandStars(stmt.Items, origSchema)
+	if err != nil {
+		return nil, err
+	}
+
+	// Bind select items, hoisting aggregates into specs.
+	var specs []core.AggSpec
+	exprs := make([]core.Expr, len(items))
+	names := make([]string, len(items))
+	for i, it := range items {
+		e, err := b.bindExpr(it.Expr, cur, &specs, nil)
+		if err != nil {
+			return nil, err
+		}
+		exprs[i] = e
+		names[i] = it.Alias
+		if names[i] == "" {
+			if agg, ok := it.Expr.(*sql.AggCall); ok {
+				// A bare aggregate keeps its display name.
+				names[i] = displayAggName(agg)
+			}
+		}
+	}
+
+	// HAVING binds in the same aggregate-hoisting pass.
+	var havingExpr core.Expr
+	if stmt.Having != nil {
+		if len(stmt.GroupBy) == 0 {
+			return nil, fmt.Errorf("bind: HAVING requires GROUP BY")
+		}
+		havingExpr, err = b.bindExpr(stmt.Having, cur, &specs, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	switch {
+	case len(stmt.GroupBy) > 0:
+		groupCols, err := b.bindGroupCols(stmt.GroupBy, plan.Schema())
+		if err != nil {
+			return nil, err
+		}
+		gb := &core.GroupBy{Input: plan, GroupCols: groupCols, Aggs: specs}
+		if err := validateOverGrouped(exprs, havingExpr, gb.Schema()); err != nil {
+			return nil, err
+		}
+		plan = gb
+		if havingExpr != nil {
+			plan = &core.Select{Input: plan, Cond: havingExpr}
+		}
+	case len(specs) > 0:
+		ag := &core.AggOp{Input: plan, Aggs: specs}
+		if err := validateOverGrouped(exprs, nil, ag.Schema()); err != nil {
+			return nil, err
+		}
+		plan = ag
+	}
+
+	plan = core.NewProject(plan, exprs, names)
+	if stmt.Distinct {
+		plan = &core.Distinct{Input: plan}
+	}
+	return plan, nil
+}
+
+// displayAggName renders count(*) / avg(p_x) style output names.
+func displayAggName(a *sql.AggCall) string {
+	if a.Star {
+		return a.Fn + "(*)"
+	}
+	if id, ok := a.Arg.(*sql.Ident); ok {
+		d := ""
+		if a.Distinct {
+			d = "distinct "
+		}
+		return a.Fn + "(" + d + id.Name + ")"
+	}
+	return ""
+}
+
+// validateOverGrouped checks that post-aggregation expressions reference
+// only grouping columns and aggregate results.
+func validateOverGrouped(exprs []core.Expr, having core.Expr, sch *schema.Schema) error {
+	check := func(e core.Expr) error {
+		for _, c := range core.ColRefsIn(e) {
+			if !sch.Has(c.Table, c.Name) {
+				return fmt.Errorf("bind: column %s must appear in GROUP BY or inside an aggregate", c)
+			}
+		}
+		return nil
+	}
+	for _, e := range exprs {
+		if err := check(e); err != nil {
+			return err
+		}
+	}
+	if having != nil {
+		return check(having)
+	}
+	return nil
+}
+
+func expandStars(items []sql.SelectItem, sch *schema.Schema) ([]sql.SelectItem, error) {
+	var out []sql.SelectItem
+	for _, it := range items {
+		if !it.Star {
+			out = append(out, it)
+			continue
+		}
+		for _, c := range sch.Cols {
+			out = append(out, sql.SelectItem{Expr: &sql.Ident{Table: c.Table, Name: c.Name}})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bind: empty select list")
+	}
+	return out, nil
+}
+
+func (b *Binder) bindGroupCols(cols []sql.ColName, sch *schema.Schema) ([]*core.ColRef, error) {
+	out := make([]*core.ColRef, len(cols))
+	for i, c := range cols {
+		if _, err := sch.Resolve(c.Table, c.Name); err != nil {
+			return nil, fmt.Errorf("bind: grouping column: %w", err)
+		}
+		out[i] = &core.ColRef{Table: c.Table, Name: c.Name}
+	}
+	return out, nil
+}
+
+// bindFromWhere builds the FROM join tree and normalizes WHERE. It
+// returns the plan (possibly extended with subquery columns by Apply
+// normalization), the original FROM schema, and the current scope.
+func (b *Binder) bindFromWhere(stmt *sql.SelectStmt, parent *scope) (core.Node, *schema.Schema, *scope, error) {
+	if len(stmt.From) == 0 {
+		return nil, nil, nil, fmt.Errorf("bind: FROM clause is required")
+	}
+	var plan core.Node
+	groupVar := ""
+	for i, tr := range stmt.From {
+		node, gv, err := b.bindTableRef(tr, parent)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if gv != "" {
+			if len(stmt.From) > 1 {
+				return nil, nil, nil, fmt.Errorf("bind: the group variable %s must be the only relation in FROM", gv)
+			}
+			groupVar = gv
+		}
+		if i == 0 {
+			plan = node
+		} else {
+			plan = &core.Join{Left: plan, Right: node, Cond: nil}
+		}
+	}
+	origSchema := plan.Schema()
+	cur := &scope{parent: parent, sch: origSchema, groupVar: groupVar}
+	if stmt.Where != nil {
+		var err error
+		plan, err = b.normalizeWhere(plan, stmt.Where, cur)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		cur.sch = plan.Schema()
+	}
+	return plan, origSchema, cur, nil
+}
+
+// bindTableRef lowers one FROM entry. The second result is the group
+// variable name when the entry references one.
+func (b *Binder) bindTableRef(tr sql.TableRef, parent *scope) (core.Node, string, error) {
+	if tr.Subquery != nil {
+		sub, err := b.bindSelect(tr.Subquery, parent)
+		if err != nil {
+			return nil, "", err
+		}
+		cols := make([]*core.ColRef, sub.Schema().Len())
+		for i, c := range sub.Schema().Cols {
+			cols[i] = &core.ColRef{Table: c.Table, Name: c.Name}
+		}
+		if tr.ColNames != nil && len(tr.ColNames) != len(cols) {
+			return nil, "", fmt.Errorf("bind: derived table %s declares %d columns, subquery has %d",
+				tr.Alias, len(tr.ColNames), len(cols))
+		}
+		p := core.ProjectCols(sub, cols)
+		p.Qualifier = tr.Alias
+		if tr.ColNames != nil {
+			p.Names = tr.ColNames
+		}
+		return p, "", nil
+	}
+	if parent != nil {
+		if sch, ok := parent.lookupGroupVar(tr.Table); ok {
+			if tr.Alias != "" && !strings.EqualFold(tr.Alias, tr.Table) {
+				return nil, "", fmt.Errorf("bind: group variable %s cannot be aliased", tr.Table)
+			}
+			return &core.GroupScan{Var: tr.Table, Sch: sch}, tr.Table, nil
+		}
+	}
+	tab, err := b.cat.Lookup(tr.Table)
+	if err != nil {
+		return nil, "", err
+	}
+	return &core.Scan{Table: tab.Def.Name, Def: tab.Def, Alias: tr.Alias}, "", nil
+}
+
+// normalizeWhere rewrites the WHERE clause over plan: EXISTS conjuncts
+// become Apply+Exists (the paper's group/row selection shape), scalar
+// subqueries become Apply operators whose single output column replaces
+// the subquery in the predicate, and what remains becomes a Select.
+func (b *Binder) normalizeWhere(plan core.Node, where sql.Expr, cur *scope) (core.Node, error) {
+	conjuncts := splitConjuncts(where)
+	var residual []core.Expr
+	for _, c := range conjuncts {
+		if ex, ok := c.(*sql.ExistsExpr); ok {
+			sub, err := b.bindSelect(ex.Sub, cur)
+			if err != nil {
+				return nil, err
+			}
+			plan = &core.Apply{
+				Outer: plan,
+				Inner: &core.Exists{Input: sub, Negated: ex.Negated},
+			}
+			cur.sch = plan.Schema()
+			continue
+		}
+		sq := &subqCollector{b: b, scope: cur}
+		e, err := b.bindExpr(c, cur, nil, sq)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range sq.applies {
+			plan = &core.Apply{Outer: plan, Inner: a.inner, Kind: a.kind}
+			cur.sch = plan.Schema()
+		}
+		residual = append(residual, e)
+	}
+	if len(residual) > 0 {
+		plan = &core.Select{Input: plan, Cond: core.AndAll(residual)}
+	}
+	return plan, nil
+}
+
+func splitConjuncts(e sql.Expr) []sql.Expr {
+	if l, ok := e.(*sql.Logical); ok && l.Op == "and" {
+		var out []sql.Expr
+		for _, o := range l.Ops {
+			out = append(out, splitConjuncts(o)...)
+		}
+		return out
+	}
+	return []sql.Expr{e}
+}
+
+// pendingApply is one subquery hoisted out of a predicate.
+type pendingApply struct {
+	inner core.Node
+	kind  core.ApplyKind
+}
+
+// subqCollector accumulates scalar subqueries found while binding a
+// predicate.
+type subqCollector struct {
+	b       *Binder
+	scope   *scope
+	applies []pendingApply
+}
+
+func (s *subqCollector) add(sub *sql.SelectStmt) (core.Expr, error) {
+	plan, err := s.b.bindSelect(sub, s.scope)
+	if err != nil {
+		return nil, err
+	}
+	if plan.Schema().Len() != 1 {
+		return nil, fmt.Errorf("bind: scalar subquery must return exactly one column, got %d", plan.Schema().Len())
+	}
+	name := s.b.fresh("sq")
+	var renamed core.Node
+	if p, ok := plan.(*core.Project); ok && len(p.Exprs) == 1 && p.Qualifier == "" {
+		// Rename in place instead of stacking a second projection; the
+		// transformation rules pattern-match Project(Aggregate(...)).
+		renamed = &core.Project{Input: p.Input, Exprs: p.Exprs, Names: []string{name}}
+	} else {
+		col := plan.Schema().Cols[0]
+		renamed = core.NewProject(plan, []core.Expr{&core.ColRef{Table: col.Table, Name: col.Name}}, []string{name})
+	}
+	kind := core.OuterApply
+	if guaranteesOneRow(plan) {
+		// Aggregate subqueries produce exactly one row even on empty
+		// input, so a cross apply preserves the outer row count.
+		kind = core.CrossApply
+	}
+	s.applies = append(s.applies, pendingApply{inner: renamed, kind: kind})
+	return &core.ColRef{Name: name}, nil
+}
+
+// guaranteesOneRow reports whether the plan emits exactly one row on any
+// input — true for a scalar aggregate, possibly wrapped in projections.
+func guaranteesOneRow(n core.Node) bool {
+	switch x := n.(type) {
+	case *core.AggOp:
+		return true
+	case *core.Project:
+		return guaranteesOneRow(x.Input)
+	case *core.OrderBy:
+		return guaranteesOneRow(x.Input)
+	default:
+		return false
+	}
+}
+
+// bindExpr converts an AST expression. aggs, when non-nil, enables
+// aggregate hoisting (select list / HAVING position); subq, when
+// non-nil, enables scalar subqueries (WHERE position).
+func (b *Binder) bindExpr(e sql.Expr, s *scope, aggs *[]core.AggSpec, subq *subqCollector) (core.Expr, error) {
+	switch x := e.(type) {
+	case *sql.Ident:
+		return b.resolveIdent(x, s)
+
+	case *sql.NumberLit:
+		if x.IsFloat {
+			return core.LitFloat(x.F), nil
+		}
+		return core.LitInt(x.I), nil
+
+	case *sql.StringLit:
+		return core.LitStr(x.S), nil
+
+	case *sql.NullLit:
+		return &core.Lit{V: types.Null}, nil
+
+	case *sql.BoolLit:
+		return &core.Lit{V: types.NewBool(x.B)}, nil
+
+	case *sql.Binary:
+		l, err := b.bindExpr(x.L, s, aggs, subq)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.bindExpr(x.R, s, aggs, subq)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "+", "-", "*", "/":
+			return &core.BinOp{Op: x.Op, L: l, R: r}, nil
+		default:
+			return &core.Cmp{Op: x.Op, L: l, R: r}, nil
+		}
+
+	case *sql.Logical:
+		ops := make([]core.Expr, len(x.Ops))
+		for i, o := range x.Ops {
+			e, err := b.bindExpr(o, s, aggs, subq)
+			if err != nil {
+				return nil, err
+			}
+			ops[i] = e
+		}
+		if x.Op == "and" {
+			return &core.And{Ops: ops}, nil
+		}
+		return &core.Or{Ops: ops}, nil
+
+	case *sql.NotExpr:
+		inner, err := b.bindExpr(x.E, s, aggs, subq)
+		if err != nil {
+			return nil, err
+		}
+		return &core.Not{Op: inner}, nil
+
+	case *sql.AggCall:
+		if aggs == nil {
+			return nil, fmt.Errorf("bind: aggregate %s not allowed in this context", x.Fn)
+		}
+		spec := core.AggSpec{Fn: x.Fn, Star: x.Star, Distinct: x.Distinct, As: b.fresh("agg")}
+		if !x.Star {
+			arg, err := b.bindExpr(x.Arg, s, nil, subq)
+			if err != nil {
+				return nil, err
+			}
+			spec.Arg = arg
+		}
+		*aggs = append(*aggs, spec)
+		return &core.ColRef{Name: spec.As}, nil
+
+	case *sql.FuncCall:
+		args := make([]core.Expr, len(x.Args))
+		for i, a := range x.Args {
+			e, err := b.bindExpr(a, s, aggs, subq)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = e
+		}
+		return &core.Func{Name: x.Name, Args: args}, nil
+
+	case *sql.SubqueryExpr:
+		if subq == nil {
+			return nil, fmt.Errorf("bind: scalar subqueries are only supported in WHERE")
+		}
+		return subq.add(x.Sub)
+
+	case *sql.ExistsExpr:
+		return nil, fmt.Errorf("bind: EXISTS is only supported as a top-level WHERE conjunct")
+
+	default:
+		return nil, fmt.Errorf("bind: unknown expression %T", e)
+	}
+}
+
+// resolveIdent resolves a column reference: the current scope yields a
+// ColRef; an enclosing scope yields an OuterRef (correlation). A
+// reference qualified by the active group variable is unqualified first
+// ("all columns in the joining tables are associated with x", §3.1).
+func (b *Binder) resolveIdent(id *sql.Ident, s *scope) (core.Expr, error) {
+	table, name := id.Table, id.Name
+	first := true
+	for sc := s; sc != nil; sc = sc.parent {
+		t := table
+		if t != "" && strings.EqualFold(t, sc.groupVar) {
+			t = ""
+		}
+		if sc.sch != nil {
+			if _, err := sc.sch.Resolve(t, name); err == nil {
+				if first {
+					return &core.ColRef{Table: t, Name: name}, nil
+				}
+				return &core.OuterRef{Table: t, Name: name}, nil
+			} else if strings.Contains(err.Error(), "ambiguous") {
+				return nil, err
+			}
+		}
+		if sc.sch != nil {
+			first = false
+		}
+	}
+	return nil, fmt.Errorf("bind: unknown column %q", (&core.ColRef{Table: table, Name: name}).String())
+}
+
+// bindGApply lowers the paper's extended syntax into a GApply node.
+func (b *Binder) bindGApply(stmt *sql.SelectStmt, parent *scope) (core.Node, error) {
+	if len(stmt.Items) != 1 {
+		return nil, fmt.Errorf("bind: gapply(...) must be the only select item")
+	}
+	if stmt.GroupVar == "" {
+		return nil, fmt.Errorf("bind: gapply requires GROUP BY <cols> : <variable>")
+	}
+	if stmt.Distinct {
+		return nil, fmt.Errorf("bind: SELECT DISTINCT gapply(...) is not supported")
+	}
+	if stmt.Having != nil {
+		return nil, fmt.Errorf("bind: HAVING is not supported with gapply; filter inside the per-group query")
+	}
+	outer, _, cur, err := b.bindFromWhere(stmt, parent)
+	if err != nil {
+		return nil, err
+	}
+	if cur.groupVar != "" {
+		return nil, fmt.Errorf("bind: gapply over a group variable is not supported; nest queries inside the per-group query instead")
+	}
+	groupCols, err := b.bindGroupCols(stmt.GroupBy, outer.Schema())
+	if err != nil {
+		return nil, err
+	}
+	pgqScope := &scope{
+		parent:    parent,
+		groupVars: map[string]*schema.Schema{stmt.GroupVar: outer.Schema()},
+	}
+	pgq, err := b.bindSelect(stmt.Items[0].GApply, pgqScope)
+	if err != nil {
+		return nil, fmt.Errorf("bind: per-group query: %w", err)
+	}
+	if len(core.GroupScansIn(pgq)) == 0 {
+		return nil, fmt.Errorf("bind: the per-group query must read the group variable %s", stmt.GroupVar)
+	}
+	if names := stmt.Items[0].GApplyNames; names != nil {
+		pgq, err = renameOutputs(pgq, names)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return core.NewGApply(outer, groupCols, stmt.GroupVar, pgq), nil
+}
+
+// renameOutputs renames the output columns of a bound select plan. The
+// binder always tops a select core with a Project, so descending through
+// order/distinct/union reaches one per branch.
+func renameOutputs(n core.Node, names []string) (core.Node, error) {
+	switch x := n.(type) {
+	case *core.Project:
+		if len(names) != len(x.Exprs) {
+			return nil, fmt.Errorf("bind: as-list names %d columns, query returns %d", len(names), len(x.Exprs))
+		}
+		return &core.Project{Input: x.Input, Exprs: x.Exprs, Names: names, Qualifier: x.Qualifier}, nil
+	case *core.OrderBy, *core.Distinct:
+		child, err := renameOutputs(n.Children()[0], names)
+		if err != nil {
+			return nil, err
+		}
+		return n.WithChildren([]core.Node{child}), nil
+	case *core.UnionAll:
+		out := make([]core.Node, len(x.Inputs))
+		for i, c := range x.Inputs {
+			r, err := renameOutputs(c, names)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return &core.UnionAll{Inputs: out}, nil
+	default:
+		return nil, fmt.Errorf("bind: cannot rename outputs of %T", n)
+	}
+}

@@ -1,0 +1,321 @@
+// Package core defines the engine's logical algebra: the expression
+// model and the logical operators — Scan, Select, Project, Distinct,
+// Join, GroupBy, Aggregate, OrderBy, Union(All), Apply, Exists and the
+// paper's contribution, GApply (groupwise processing over relation-valued
+// variables). Transformation rules (internal/rules), static analyses
+// (internal/analyze), the optimizer (internal/opt) and the executor
+// (internal/exec) all operate on the trees defined here.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"gapplydb/internal/schema"
+	"gapplydb/internal/types"
+)
+
+// Expr is a scalar expression evaluated against a row of the operator's
+// input schema. Column references are name-based (not ordinal-based) so
+// transformation rules can move expressions between operators without
+// re-resolution; the executor resolves names to ordinals once per
+// operator when it compiles the plan.
+type Expr interface {
+	String() string
+	// Walk visits the expression and all sub-expressions, pre-order.
+	Walk(func(Expr))
+	// Rewrite rebuilds the expression bottom-up, replacing each node
+	// with f's result.
+	Rewrite(f func(Expr) Expr) Expr
+}
+
+// ColRef references a column of the current operator's input by
+// (optional) qualifier and name.
+type ColRef struct {
+	Table string
+	Name  string
+}
+
+// OuterRef references a column of an enclosing Apply's outer row — the
+// correlation mechanism for subqueries (paper §4: "apply is a logical
+// operator that models a subquery").
+type OuterRef struct {
+	Table string
+	Name  string
+}
+
+// Lit is a literal value.
+type Lit struct {
+	V types.Value
+}
+
+// BinOp is arithmetic: + - * /.
+type BinOp struct {
+	Op   string
+	L, R Expr
+}
+
+// Cmp is a comparison: = <> < <= > >=.
+type Cmp struct {
+	Op   string
+	L, R Expr
+}
+
+// And is conjunction over one or more operands.
+type And struct {
+	Ops []Expr
+}
+
+// Or is disjunction over one or more operands.
+type Or struct {
+	Ops []Expr
+}
+
+// Not is negation.
+type Not struct {
+	Op Expr
+}
+
+// Func is a scalar function call. Supported: coalesce, abs.
+type Func struct {
+	Name string
+	Args []Expr
+}
+
+// ScalarSubquery holds a subquery in an expression position during
+// binding. The binder normalizes these into Apply operators before the
+// plan reaches the optimizer; no evaluator exists for them.
+type ScalarSubquery struct {
+	Plan Node
+}
+
+// ExistsExpr holds an EXISTS(...) predicate during binding; like
+// ScalarSubquery it is normalized into Apply+Exists before optimization.
+type ExistsExpr struct {
+	Plan    Node
+	Negated bool
+}
+
+func (e *ColRef) String() string {
+	if e.Table == "" {
+		return e.Name
+	}
+	return e.Table + "." + e.Name
+}
+func (e *OuterRef) String() string {
+	if e.Table == "" {
+		return "outer." + e.Name
+	}
+	return "outer." + e.Table + "." + e.Name
+}
+func (e *Lit) String() string   { return e.V.SQLLiteral() }
+func (e *BinOp) String() string { return "(" + e.L.String() + " " + e.Op + " " + e.R.String() + ")" }
+func (e *Cmp) String() string   { return "(" + e.L.String() + " " + e.Op + " " + e.R.String() + ")" }
+func (e *And) String() string   { return joinExprs(e.Ops, " AND ") }
+func (e *Or) String() string    { return joinExprs(e.Ops, " OR ") }
+func (e *Not) String() string   { return "NOT " + e.Op.String() }
+func (e *Func) String() string {
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return e.Name + "(" + strings.Join(args, ", ") + ")"
+}
+func (e *ScalarSubquery) String() string { return "(subquery)" }
+func (e *ExistsExpr) String() string {
+	if e.Negated {
+		return "NOT EXISTS(subquery)"
+	}
+	return "EXISTS(subquery)"
+}
+
+func joinExprs(ops []Expr, sep string) string {
+	parts := make([]string, len(ops))
+	for i, o := range ops {
+		parts[i] = o.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+func (e *ColRef) Walk(f func(Expr))   { f(e) }
+func (e *OuterRef) Walk(f func(Expr)) { f(e) }
+func (e *Lit) Walk(f func(Expr))      { f(e) }
+func (e *BinOp) Walk(f func(Expr))    { f(e); e.L.Walk(f); e.R.Walk(f) }
+func (e *Cmp) Walk(f func(Expr))      { f(e); e.L.Walk(f); e.R.Walk(f) }
+func (e *And) Walk(f func(Expr)) {
+	f(e)
+	for _, o := range e.Ops {
+		o.Walk(f)
+	}
+}
+func (e *Or) Walk(f func(Expr)) {
+	f(e)
+	for _, o := range e.Ops {
+		o.Walk(f)
+	}
+}
+func (e *Not) Walk(f func(Expr)) { f(e); e.Op.Walk(f) }
+func (e *Func) Walk(f func(Expr)) {
+	f(e)
+	for _, a := range e.Args {
+		a.Walk(f)
+	}
+}
+func (e *ScalarSubquery) Walk(f func(Expr)) { f(e) }
+func (e *ExistsExpr) Walk(f func(Expr))     { f(e) }
+
+func (e *ColRef) Rewrite(f func(Expr) Expr) Expr   { return f(e) }
+func (e *OuterRef) Rewrite(f func(Expr) Expr) Expr { return f(e) }
+func (e *Lit) Rewrite(f func(Expr) Expr) Expr      { return f(e) }
+func (e *BinOp) Rewrite(f func(Expr) Expr) Expr {
+	return f(&BinOp{Op: e.Op, L: e.L.Rewrite(f), R: e.R.Rewrite(f)})
+}
+func (e *Cmp) Rewrite(f func(Expr) Expr) Expr {
+	return f(&Cmp{Op: e.Op, L: e.L.Rewrite(f), R: e.R.Rewrite(f)})
+}
+func (e *And) Rewrite(f func(Expr) Expr) Expr {
+	ops := make([]Expr, len(e.Ops))
+	for i, o := range e.Ops {
+		ops[i] = o.Rewrite(f)
+	}
+	return f(&And{Ops: ops})
+}
+func (e *Or) Rewrite(f func(Expr) Expr) Expr {
+	ops := make([]Expr, len(e.Ops))
+	for i, o := range e.Ops {
+		ops[i] = o.Rewrite(f)
+	}
+	return f(&Or{Ops: ops})
+}
+func (e *Not) Rewrite(f func(Expr) Expr) Expr { return f(&Not{Op: e.Op.Rewrite(f)}) }
+func (e *Func) Rewrite(f func(Expr) Expr) Expr {
+	args := make([]Expr, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.Rewrite(f)
+	}
+	return f(&Func{Name: e.Name, Args: args})
+}
+func (e *ScalarSubquery) Rewrite(f func(Expr) Expr) Expr { return f(e) }
+func (e *ExistsExpr) Rewrite(f func(Expr) Expr) Expr     { return f(e) }
+
+// Col is shorthand for an unqualified column reference.
+func Col(name string) *ColRef { return &ColRef{Name: name} }
+
+// QCol is shorthand for a qualified column reference.
+func QCol(table, name string) *ColRef { return &ColRef{Table: table, Name: name} }
+
+// LitInt, LitFloat, LitStr build literal expressions.
+func LitInt(i int64) *Lit     { return &Lit{V: types.NewInt(i)} }
+func LitFloat(f float64) *Lit { return &Lit{V: types.NewFloat(f)} }
+func LitStr(s string) *Lit    { return &Lit{V: types.NewString(s)} }
+
+// ConjunctsOf flattens nested ANDs into a list of conjuncts.
+func ConjunctsOf(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if a, ok := e.(*And); ok {
+		var out []Expr
+		for _, o := range a.Ops {
+			out = append(out, ConjunctsOf(o)...)
+		}
+		return out
+	}
+	return []Expr{e}
+}
+
+// AndAll combines conjuncts back into a single expression (nil for none).
+func AndAll(exprs []Expr) Expr {
+	switch len(exprs) {
+	case 0:
+		return nil
+	case 1:
+		return exprs[0]
+	default:
+		return &And{Ops: exprs}
+	}
+}
+
+// ColRefsIn collects all ColRefs (not OuterRefs) in the expression.
+func ColRefsIn(e Expr) []*ColRef {
+	var out []*ColRef
+	if e == nil {
+		return nil
+	}
+	e.Walk(func(x Expr) {
+		if c, ok := x.(*ColRef); ok {
+			out = append(out, c)
+		}
+	})
+	return out
+}
+
+// HasOuterRefs reports whether the expression references an enclosing
+// Apply's row; expressions without outer refs are invariant across the
+// outer loop and the executor caches their subqueries.
+func HasOuterRefs(e Expr) bool {
+	found := false
+	e.Walk(func(x Expr) {
+		if _, ok := x.(*OuterRef); ok {
+			found = true
+		}
+	})
+	return found
+}
+
+// InferType computes the result kind of the expression against an input
+// schema. Unresolvable references infer as NULL kind; the executor will
+// fail with a precise error at compile time instead.
+func InferType(e Expr, in *schema.Schema) types.Kind {
+	switch x := e.(type) {
+	case *ColRef:
+		if i, err := in.Resolve(x.Table, x.Name); err == nil {
+			return in.Cols[i].Type
+		}
+		return types.KindNull
+	case *OuterRef:
+		return types.KindNull // unknown statically; refined at runtime
+	case *Lit:
+		return x.V.K
+	case *BinOp:
+		l, r := InferType(x.L, in), InferType(x.R, in)
+		if l == types.KindFloat || r == types.KindFloat || x.Op == "/" {
+			return types.KindFloat
+		}
+		return types.KindInt
+	case *Cmp, *And, *Or, *Not:
+		return types.KindBool
+	case *Func:
+		switch strings.ToLower(x.Name) {
+		case "coalesce":
+			for _, a := range x.Args {
+				if k := InferType(a, in); k != types.KindNull {
+					return k
+				}
+			}
+			return types.KindNull
+		case "abs":
+			if len(x.Args) == 1 {
+				return InferType(x.Args[0], in)
+			}
+		}
+		return types.KindNull
+	default:
+		return types.KindNull
+	}
+}
+
+// EquiPair is one side-equality extracted from a join condition.
+type EquiPair struct {
+	Left  *ColRef // resolves in the join's left input
+	Right *ColRef // resolves in the join's right input
+}
+
+// ExprName derives a result column name for an unaliased projection, the
+// way SQL engines label computed columns.
+func ExprName(e Expr, ordinal int) string {
+	if c, ok := e.(*ColRef); ok {
+		return c.Name
+	}
+	return fmt.Sprintf("col%d", ordinal)
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+
+	"gapplydb/internal/schema"
+	"gapplydb/internal/types"
+)
+
+func partSchema() *schema.Schema {
+	return schema.New(
+		schema.Column{Table: "part", Name: "p_partkey", Type: types.KindInt},
+		schema.Column{Table: "part", Name: "p_name", Type: types.KindString},
+		schema.Column{Table: "part", Name: "p_retailprice", Type: types.KindFloat},
+	)
+}
+
+func TestExprString(t *testing.T) {
+	e := &And{Ops: []Expr{
+		&Cmp{Op: ">=", L: Col("p_retailprice"), R: LitFloat(10)},
+		&Not{Op: &Cmp{Op: "=", L: QCol("part", "p_name"), R: LitStr("bolt")}},
+	}}
+	want := "((p_retailprice >= 10) AND NOT (part.p_name = 'bolt'))"
+	if got := e.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	or := &Or{Ops: []Expr{LitInt(1), LitInt(2)}}
+	if or.String() != "(1 OR 2)" {
+		t.Errorf("Or.String = %q", or.String())
+	}
+	b := &BinOp{Op: "*", L: Col("x"), R: LitInt(3)}
+	if b.String() != "(x * 3)" {
+		t.Errorf("BinOp.String = %q", b.String())
+	}
+	f := &Func{Name: "coalesce", Args: []Expr{Col("a"), LitInt(0)}}
+	if f.String() != "coalesce(a, 0)" {
+		t.Errorf("Func.String = %q", f.String())
+	}
+	o := &OuterRef{Table: "t", Name: "c"}
+	if o.String() != "outer.t.c" {
+		t.Errorf("OuterRef.String = %q", o.String())
+	}
+}
+
+func TestWalkVisitsAll(t *testing.T) {
+	e := &Cmp{Op: "=", L: &BinOp{Op: "+", L: Col("a"), R: LitInt(1)}, R: Col("b")}
+	var n int
+	e.Walk(func(Expr) { n++ })
+	if n != 5 {
+		t.Errorf("visited %d nodes, want 5", n)
+	}
+}
+
+func TestRewriteReplacesLeaves(t *testing.T) {
+	e := &And{Ops: []Expr{
+		&Cmp{Op: "=", L: Col("a"), R: LitInt(1)},
+		&Or{Ops: []Expr{&Not{Op: &Cmp{Op: "<", L: Col("a"), R: Col("b")}}}},
+	}}
+	got := e.Rewrite(func(x Expr) Expr {
+		if c, ok := x.(*ColRef); ok && c.Name == "a" {
+			return Col("z")
+		}
+		return x
+	})
+	want := "((z = 1) OR (NOT (z < b)))"
+	_ = want
+	refs := ColRefsIn(got)
+	for _, r := range refs {
+		if r.Name == "a" {
+			t.Error("rewrite left an 'a' reference behind")
+		}
+	}
+	// Original must be untouched (Rewrite is persistent).
+	if len(ColRefsIn(e)) != 3 || ColRefsIn(e)[0].Name != "a" {
+		t.Error("rewrite mutated the original")
+	}
+}
+
+func TestConjunctsAndAndAll(t *testing.T) {
+	a := &Cmp{Op: "=", L: Col("x"), R: LitInt(1)}
+	b := &Cmp{Op: "=", L: Col("y"), R: LitInt(2)}
+	c := &Cmp{Op: "=", L: Col("z"), R: LitInt(3)}
+	nested := &And{Ops: []Expr{a, &And{Ops: []Expr{b, c}}}}
+	got := ConjunctsOf(nested)
+	if len(got) != 3 {
+		t.Fatalf("ConjunctsOf = %d conjuncts", len(got))
+	}
+	if ConjunctsOf(nil) != nil {
+		t.Error("ConjunctsOf(nil)")
+	}
+	if AndAll(nil) != nil {
+		t.Error("AndAll(nil)")
+	}
+	if AndAll([]Expr{a}) != a {
+		t.Error("AndAll singleton")
+	}
+	if _, ok := AndAll([]Expr{a, b}).(*And); !ok {
+		t.Error("AndAll pair must be And")
+	}
+}
+
+func TestColRefsInAndHasOuterRefs(t *testing.T) {
+	e := &Cmp{Op: ">=", L: Col("p_retailprice"), R: &OuterRef{Name: "avgprice"}}
+	refs := ColRefsIn(e)
+	if len(refs) != 1 || refs[0].Name != "p_retailprice" {
+		t.Errorf("ColRefsIn = %v", refs)
+	}
+	if !HasOuterRefs(e) {
+		t.Error("HasOuterRefs must see the OuterRef")
+	}
+	if HasOuterRefs(Col("x")) {
+		t.Error("plain ColRef has no outer refs")
+	}
+	if ColRefsIn(nil) != nil {
+		t.Error("ColRefsIn(nil)")
+	}
+}
+
+func TestInferType(t *testing.T) {
+	in := partSchema()
+	cases := []struct {
+		e    Expr
+		want types.Kind
+	}{
+		{Col("p_partkey"), types.KindInt},
+		{Col("p_name"), types.KindString},
+		{QCol("part", "p_retailprice"), types.KindFloat},
+		{Col("nosuch"), types.KindNull},
+		{LitStr("x"), types.KindString},
+		{&BinOp{Op: "+", L: Col("p_partkey"), R: LitInt(1)}, types.KindInt},
+		{&BinOp{Op: "+", L: Col("p_partkey"), R: LitFloat(1)}, types.KindFloat},
+		{&BinOp{Op: "/", L: Col("p_partkey"), R: LitInt(2)}, types.KindFloat},
+		{&Cmp{Op: "=", L: Col("p_partkey"), R: LitInt(1)}, types.KindBool},
+		{&Not{Op: &Cmp{Op: "=", L: Col("p_partkey"), R: LitInt(1)}}, types.KindBool},
+		{&Func{Name: "coalesce", Args: []Expr{Col("p_retailprice"), LitFloat(0)}}, types.KindFloat},
+		{&Func{Name: "abs", Args: []Expr{Col("p_partkey")}}, types.KindInt},
+		{&OuterRef{Name: "x"}, types.KindNull},
+	}
+	for _, c := range cases {
+		if got := InferType(c.e, in); got != c.want {
+			t.Errorf("InferType(%s) = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestExprName(t *testing.T) {
+	if ExprName(QCol("t", "c"), 0) != "c" {
+		t.Error("column keeps its name")
+	}
+	if ExprName(LitInt(1), 3) != "col3" {
+		t.Error("computed column gets positional name")
+	}
+}

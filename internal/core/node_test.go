@@ -1,0 +1,243 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"gapplydb/internal/schema"
+	"gapplydb/internal/types"
+)
+
+func partDef() *schema.TableDef {
+	return &schema.TableDef{
+		Name:       "part",
+		Schema:     partSchema(),
+		PrimaryKey: []string{"p_partkey"},
+	}
+}
+
+func partsuppSchema() *schema.Schema {
+	return schema.New(
+		schema.Column{Table: "partsupp", Name: "ps_partkey", Type: types.KindInt},
+		schema.Column{Table: "partsupp", Name: "ps_suppkey", Type: types.KindInt},
+	)
+}
+
+func partsuppDef() *schema.TableDef {
+	return &schema.TableDef{
+		Name:       "partsupp",
+		Schema:     partsuppSchema(),
+		PrimaryKey: []string{"ps_partkey", "ps_suppkey"},
+	}
+}
+
+func joinedScan() *Join {
+	return &Join{
+		Left:  &Scan{Table: "partsupp", Def: partsuppDef()},
+		Right: &Scan{Table: "part", Def: partDef()},
+		Cond:  &Cmp{Op: "=", L: QCol("partsupp", "ps_partkey"), R: QCol("part", "p_partkey")},
+	}
+}
+
+func TestScanSchemaAndAlias(t *testing.T) {
+	s := &Scan{Table: "part", Def: partDef()}
+	if s.Schema().Len() != 3 || s.Schema().Cols[0].Table != "part" {
+		t.Errorf("Scan schema = %v", s.Schema())
+	}
+	a := &Scan{Table: "part", Def: partDef(), Alias: "p2"}
+	if a.Schema().Cols[0].Table != "p2" {
+		t.Errorf("aliased scan schema = %v", a.Schema())
+	}
+	if !strings.Contains(a.Describe(), "AS p2") {
+		t.Errorf("Describe = %q", a.Describe())
+	}
+}
+
+func TestJoinSchemaAndEquiPairs(t *testing.T) {
+	j := joinedScan()
+	if j.Schema().Len() != 5 {
+		t.Errorf("join schema = %v", j.Schema())
+	}
+	pairs := j.EquiPairs()
+	if len(pairs) != 1 {
+		t.Fatalf("EquiPairs = %v", pairs)
+	}
+	if pairs[0].Left.Name != "ps_partkey" || pairs[0].Right.Name != "p_partkey" {
+		t.Errorf("pair = %v -> %v", pairs[0].Left, pairs[0].Right)
+	}
+	// Sides swapped in the condition still resolve to (left, right).
+	j2 := joinedScan()
+	j2.Cond = &Cmp{Op: "=", L: QCol("part", "p_partkey"), R: QCol("partsupp", "ps_partkey")}
+	pairs = j2.EquiPairs()
+	if len(pairs) != 1 || pairs[0].Left.Name != "ps_partkey" {
+		t.Errorf("swapped pair = %v", pairs)
+	}
+	// Non-equi conjuncts are skipped.
+	j3 := joinedScan()
+	j3.Cond = &And{Ops: []Expr{
+		j.Cond,
+		&Cmp{Op: ">", L: QCol("part", "p_retailprice"), R: LitFloat(10)},
+	}}
+	if len(j3.EquiPairs()) != 1 {
+		t.Errorf("non-equi conjunct leaked into EquiPairs")
+	}
+}
+
+func TestProjectSchema(t *testing.T) {
+	scan := &Scan{Table: "part", Def: partDef()}
+	p := NewProject(scan, []Expr{
+		QCol("part", "p_name"),
+		&BinOp{Op: "*", L: Col("p_retailprice"), R: LitFloat(2)},
+	}, []string{"", "double_price"})
+	s := p.Schema()
+	if s.Cols[0].Table != "part" || s.Cols[0].Name != "p_name" {
+		t.Errorf("unaliased column must keep qualified name: %v", s.Cols[0])
+	}
+	if s.Cols[1].Name != "double_price" || s.Cols[1].Type != types.KindFloat {
+		t.Errorf("aliased computed column: %v", s.Cols[1])
+	}
+	// Unaliased computed columns get positional names.
+	p2 := NewProject(scan, []Expr{LitInt(1)}, nil)
+	if p2.Schema().Cols[0].Name != "col0" {
+		t.Errorf("positional name = %v", p2.Schema().Cols[0])
+	}
+}
+
+func TestGroupBySchema(t *testing.T) {
+	g := &GroupBy{
+		Input:     joinedScan(),
+		GroupCols: []*ColRef{QCol("partsupp", "ps_suppkey")},
+		Aggs: []AggSpec{
+			{Fn: "avg", Arg: Col("p_retailprice"), As: "avgprice"},
+			{Fn: "count", Star: true},
+		},
+	}
+	s := g.Schema()
+	if s.Len() != 3 {
+		t.Fatalf("schema = %v", s)
+	}
+	if s.Cols[0].Name != "ps_suppkey" || s.Cols[0].Table != "partsupp" {
+		t.Errorf("group col = %v", s.Cols[0])
+	}
+	if s.Cols[1].Name != "avgprice" || s.Cols[1].Type != types.KindFloat {
+		t.Errorf("avg col = %v", s.Cols[1])
+	}
+	if s.Cols[2].Name != "count(*)" || s.Cols[2].Type != types.KindInt {
+		t.Errorf("count col = %v", s.Cols[2])
+	}
+}
+
+func TestAggSpecTypes(t *testing.T) {
+	in := partSchema()
+	cases := []struct {
+		a    AggSpec
+		want types.Kind
+	}{
+		{AggSpec{Fn: "count", Star: true}, types.KindInt},
+		{AggSpec{Fn: "avg", Arg: Col("p_partkey")}, types.KindFloat},
+		{AggSpec{Fn: "sum", Arg: Col("p_partkey")}, types.KindInt},
+		{AggSpec{Fn: "sum", Arg: Col("p_retailprice")}, types.KindFloat},
+		{AggSpec{Fn: "min", Arg: Col("p_name")}, types.KindString},
+		{AggSpec{Fn: "max", Arg: Col("p_retailprice")}, types.KindFloat},
+	}
+	for _, c := range cases {
+		if got := c.a.OutType(in); got != c.want {
+			t.Errorf("OutType(%s) = %v, want %v", c.a.OutName(), got, c.want)
+		}
+	}
+	if (AggSpec{Fn: "count", Star: true}).OutName() != "count(*)" {
+		t.Error("count(*) name")
+	}
+	if (AggSpec{Fn: "avg", Arg: Col("x"), As: "a"}).OutName() != "a" {
+		t.Error("alias wins")
+	}
+}
+
+func TestExistsSchemaIsNull(t *testing.T) {
+	e := &Exists{Input: joinedScan()}
+	if e.Schema().Len() != 0 {
+		t.Error("Exists has the null schema")
+	}
+	if e.Describe() != "Exists" || (&Exists{Negated: true, Input: e.Input}).Describe() != "NotExists" {
+		t.Error("Describe")
+	}
+}
+
+func TestApplySchema(t *testing.T) {
+	outer := &Scan{Table: "part", Def: partDef()}
+	inner := &AggOp{Input: &GroupScan{Var: "g", Sch: partSchema()}, Aggs: []AggSpec{{Fn: "avg", Arg: Col("p_retailprice"), As: "a"}}}
+	a := &Apply{Outer: outer, Inner: inner}
+	if a.Schema().Len() != 4 {
+		t.Errorf("apply schema = %v", a.Schema())
+	}
+	// Apply + Exists keeps the outer schema (null schema cross).
+	ae := &Apply{Outer: outer, Inner: &Exists{Input: inner}}
+	if ae.Schema().Len() != 3 {
+		t.Errorf("apply+exists schema = %v", ae.Schema())
+	}
+}
+
+func TestGApplySchemaAndRebinding(t *testing.T) {
+	outer := joinedScan()
+	pgq := &AggOp{
+		Input: &GroupScan{Var: "tmp", Sch: schema.New()}, // stale schema on purpose
+		Aggs:  []AggSpec{{Fn: "avg", Arg: Col("p_retailprice"), As: "avgprice"}},
+	}
+	ga := NewGApply(outer, []*ColRef{QCol("partsupp", "ps_suppkey")}, "tmp", pgq)
+	// NewGApply must rebind the GroupScan to the outer schema.
+	gs := GroupScansIn(ga.Inner)
+	if len(gs) != 1 || gs[0].Sch.Len() != 5 {
+		t.Fatalf("GroupScan not rebound: %v", gs)
+	}
+	s := ga.Schema()
+	if s.Len() != 2 || s.Cols[0].Name != "ps_suppkey" || s.Cols[1].Name != "avgprice" {
+		t.Errorf("GApply schema = %v", s)
+	}
+	if !strings.Contains(ga.Describe(), "GApply [partsupp.ps_suppkey] $tmp") {
+		t.Errorf("Describe = %q", ga.Describe())
+	}
+}
+
+func TestWithChildrenPreservesFields(t *testing.T) {
+	outer := joinedScan()
+	sel := &Select{Input: outer, Cond: &Cmp{Op: ">", L: Col("p_retailprice"), R: LitFloat(5)}}
+	n := sel.WithChildren([]Node{outer.Left})
+	if n.(*Select).Cond != sel.Cond {
+		t.Error("Select.WithChildren must keep Cond")
+	}
+	ga := NewGApply(outer, []*ColRef{Col("ps_suppkey")}, "g", &GroupScan{Var: "g"})
+	ga.Partition = PartitionSort
+	n2 := ga.WithChildren([]Node{outer, ga.Inner})
+	if n2.(*GApply).Partition != PartitionSort || n2.(*GApply).GroupVar != "g" {
+		t.Error("GApply.WithChildren must keep hints and var")
+	}
+	u := &UnionAll{Inputs: []Node{outer, outer}}
+	if len(u.WithChildren([]Node{outer.Left, outer.Right}).Children()) != 2 {
+		t.Error("UnionAll.WithChildren")
+	}
+}
+
+func TestPartitionHintString(t *testing.T) {
+	if PartitionAuto.String() != "auto" || PartitionHash.String() != "hash" || PartitionSort.String() != "sort" {
+		t.Error("PartitionHint.String")
+	}
+}
+
+func TestOrderByDistinctUnionDescribe(t *testing.T) {
+	scan := &Scan{Table: "part", Def: partDef()}
+	o := &OrderBy{Input: scan, Keys: []OrderKey{{Expr: Col("p_name")}, {Expr: Col("p_retailprice"), Desc: true}}}
+	if o.Describe() != "OrderBy p_name, p_retailprice DESC" {
+		t.Errorf("OrderBy describe = %q", o.Describe())
+	}
+	if o.Schema().Len() != 3 {
+		t.Error("OrderBy schema passes through")
+	}
+	d := &Distinct{Input: scan}
+	if d.Describe() != "Distinct" || d.Schema().Len() != 3 {
+		t.Error("Distinct")
+	}
+	u := &UnionAll{Inputs: []Node{scan, scan}}
+	if u.Schema().Len() != 3 || !strings.Contains(u.Describe(), "2 inputs") {
+		t.Error("UnionAll")
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"strings"
+
+	"gapplydb/internal/schema"
+)
+
+// Walk visits n and all descendants pre-order, including per-group query
+// trees (GApply.Inner) and apply inners.
+func Walk(n Node, f func(Node)) {
+	if n == nil {
+		return
+	}
+	f(n)
+	for _, c := range n.Children() {
+		Walk(c, f)
+	}
+}
+
+// Transform rebuilds the tree bottom-up, replacing each node with the
+// result of f. f receives nodes whose children have already been
+// transformed.
+func Transform(n Node, f func(Node) Node) Node {
+	ch := n.Children()
+	if len(ch) > 0 {
+		newCh := make([]Node, len(ch))
+		changed := false
+		for i, c := range ch {
+			newCh[i] = Transform(c, f)
+			if newCh[i] != c {
+				changed = true
+			}
+		}
+		if changed {
+			n = n.WithChildren(newCh)
+		}
+	}
+	return f(n)
+}
+
+// ReplaceGroupScans rebinds every GroupScan for the named group variable
+// in the tree to a new schema. Rules that change the shape of a GApply's
+// outer input (projection pruning, pushing GApply below a join) call this
+// to keep the per-group query's leaves consistent.
+func ReplaceGroupScans(n Node, groupVar string, sch *schema.Schema) Node {
+	return Transform(n, func(m Node) Node {
+		if gs, ok := m.(*GroupScan); ok && strings.EqualFold(gs.Var, groupVar) {
+			return &GroupScan{Var: gs.Var, Sch: sch}
+		}
+		return m
+	})
+}
+
+// GroupScansIn returns all GroupScan nodes in the tree.
+func GroupScansIn(n Node) []*GroupScan {
+	var out []*GroupScan
+	Walk(n, func(m Node) {
+		if gs, ok := m.(*GroupScan); ok {
+			out = append(out, gs)
+		}
+	})
+	return out
+}
+
+// Format renders the plan tree for EXPLAIN output, one operator per line
+// with two-space indentation per level.
+func Format(n Node) string {
+	var b strings.Builder
+	format(n, 0, &b)
+	return b.String()
+}
+
+func format(n Node, depth int, b *strings.Builder) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(n.Describe())
+	b.WriteByte('\n')
+	for _, c := range n.Children() {
+		format(c, depth+1, b)
+	}
+}
+
+// ReferencedColumns collects every (qualified) column name referenced by
+// expressions anywhere in the tree, including aggregate arguments, group
+// columns and order keys, but excluding OuterRefs. The
+// projection-before-GApply rule uses this over the per-group query to
+// decide which outer columns PGQ actually needs.
+func ReferencedColumns(n Node) []*ColRef {
+	var out []*ColRef
+	add := func(e Expr) {
+		if e == nil {
+			return
+		}
+		out = append(out, ColRefsIn(e)...)
+	}
+	Walk(n, func(m Node) {
+		switch x := m.(type) {
+		case *Select:
+			add(x.Cond)
+		case *Project:
+			for _, e := range x.Exprs {
+				add(e)
+			}
+		case *Join:
+			add(x.Cond)
+		case *GroupBy:
+			for _, c := range x.GroupCols {
+				out = append(out, c)
+			}
+			for _, a := range x.Aggs {
+				add(a.Arg)
+			}
+		case *AggOp:
+			for _, a := range x.Aggs {
+				add(a.Arg)
+			}
+		case *OrderBy:
+			for _, k := range x.Keys {
+				add(k.Expr)
+			}
+		case *GApply:
+			for _, c := range x.GroupCols {
+				out = append(out, c)
+			}
+		}
+	})
+	return out
+}
+
+// OuterRefsIn collects every OuterRef used anywhere in the tree's
+// expressions — the correlation footprint of a subquery plan.
+func OuterRefsIn(n Node) []*OuterRef {
+	var out []*OuterRef
+	collect := func(e Expr) {
+		if e == nil {
+			return
+		}
+		e.Walk(func(x Expr) {
+			if o, ok := x.(*OuterRef); ok {
+				out = append(out, o)
+			}
+		})
+	}
+	Walk(n, func(m Node) {
+		switch x := m.(type) {
+		case *Select:
+			collect(x.Cond)
+		case *Project:
+			for _, e := range x.Exprs {
+				collect(e)
+			}
+		case *Join:
+			collect(x.Cond)
+		case *GroupBy:
+			for _, a := range x.Aggs {
+				collect(a.Arg)
+			}
+		case *AggOp:
+			for _, a := range x.Aggs {
+				collect(a.Arg)
+			}
+		case *OrderBy:
+			for _, k := range x.Keys {
+				collect(k.Expr)
+			}
+		}
+	})
+	return out
+}
+
+// DedupCols returns the column list with duplicates (same qualified name,
+// case-insensitive) removed, preserving first-occurrence order.
+func DedupCols(cols []*ColRef) []*ColRef {
+	seen := make(map[string]bool, len(cols))
+	var out []*ColRef
+	for _, c := range cols {
+		key := strings.ToLower(c.Table) + "." + strings.ToLower(c.Name)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, c)
+	}
+	return out
+}

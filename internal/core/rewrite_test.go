@@ -1,0 +1,163 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// q1Plan builds the paper's Q1 in the algebra (Figure 2, left):
+// GApply[ps_suppkey] over partsupp⋈part, PGQ = UnionAll(project names
+// and prices, scalar avg).
+func q1Plan() *GApply {
+	outer := joinedScan()
+	gs := func() *GroupScan { return &GroupScan{Var: "tmpSupp"} }
+	pgq := &UnionAll{Inputs: []Node{
+		NewProject(gs(), []Expr{Col("p_name"), Col("p_retailprice"), &Lit{}}, []string{"", "", "avgprice"}),
+		NewProject(
+			&AggOp{Input: gs(), Aggs: []AggSpec{{Fn: "avg", Arg: Col("p_retailprice"), As: "a"}}},
+			[]Expr{&Lit{}, &Lit{}, Col("a")}, []string{"p_name", "p_retailprice", "avgprice"},
+		),
+	}}
+	return NewGApply(outer, []*ColRef{QCol("partsupp", "ps_suppkey")}, "tmpSupp", pgq)
+}
+
+func TestWalkCoversInnerTrees(t *testing.T) {
+	ga := q1Plan()
+	var kinds []string
+	Walk(ga, func(n Node) {
+		kinds = append(kinds, strings.Fields(n.Describe())[0])
+	})
+	joined := strings.Join(kinds, " ")
+	for _, want := range []string{"GApply", "Join", "Scan", "UnionAll", "Project", "Aggregate", "GroupScan"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("Walk missed %s in %v", want, joined)
+		}
+	}
+	Walk(nil, func(Node) { t.Error("walking nil must not visit") })
+}
+
+func TestTransformIdentityPreservesStructure(t *testing.T) {
+	ga := q1Plan()
+	got := Transform(ga, func(n Node) Node { return n })
+	if got != Node(ga) {
+		t.Error("identity transform must return the same root")
+	}
+}
+
+func TestTransformRebuildsOnChange(t *testing.T) {
+	ga := q1Plan()
+	// Replace the inner UnionAll with just its first branch.
+	got := Transform(ga, func(n Node) Node {
+		if u, ok := n.(*UnionAll); ok {
+			return u.Inputs[0]
+		}
+		return n
+	})
+	newGA, ok := got.(*GApply)
+	if !ok {
+		t.Fatalf("root changed type: %T", got)
+	}
+	if _, ok := newGA.Inner.(*Project); !ok {
+		t.Errorf("inner = %T, want *Project", newGA.Inner)
+	}
+	// The original must be untouched.
+	if _, ok := ga.Inner.(*UnionAll); !ok {
+		t.Error("Transform mutated the original tree")
+	}
+}
+
+func TestReplaceGroupScans(t *testing.T) {
+	ga := q1Plan()
+	pruned := ga.Outer.Schema().Project([]int{1, 4}) // ps_suppkey, p_retailprice
+	newInner := ReplaceGroupScans(ga.Inner, "tmpSupp", pruned)
+	for _, gs := range GroupScansIn(newInner) {
+		if gs.Sch.Len() != 2 {
+			t.Errorf("GroupScan not rebound: %v", gs.Sch)
+		}
+		if gs.Var != "tmpSupp" {
+			t.Errorf("var changed: %q", gs.Var)
+		}
+	}
+	// Other group variables are left alone.
+	same := ReplaceGroupScans(ga.Inner, "otherVar", pruned)
+	for _, gs := range GroupScansIn(same) {
+		if gs.Sch.Len() == 2 {
+			t.Error("rebound a non-matching group variable")
+		}
+	}
+}
+
+func TestFormatTree(t *testing.T) {
+	out := Format(q1Plan())
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.HasPrefix(lines[0], "GApply") {
+		t.Errorf("root line = %q", lines[0])
+	}
+	// Children are indented beneath their parents.
+	if !strings.HasPrefix(lines[1], "  Join") {
+		t.Errorf("second line = %q", lines[1])
+	}
+	depth := func(s string) int { return (len(s) - len(strings.TrimLeft(s, " "))) / 2 }
+	maxDepth := 0
+	for _, l := range lines {
+		if d := depth(l); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if maxDepth < 2 {
+		t.Errorf("tree depth %d too shallow:\n%s", maxDepth, out)
+	}
+}
+
+func TestReferencedColumns(t *testing.T) {
+	ga := q1Plan()
+	cols := DedupCols(ReferencedColumns(ga.Inner))
+	names := make(map[string]bool)
+	for _, c := range cols {
+		names[c.Name] = true
+	}
+	if !names["p_name"] || !names["p_retailprice"] {
+		t.Errorf("PGQ references = %v", cols)
+	}
+	if names["ps_partkey"] {
+		t.Error("PGQ does not reference ps_partkey")
+	}
+	// GroupBy group cols, aggregate args and order keys are all collected.
+	n := &OrderBy{
+		Input: &GroupBy{
+			Input:     &GroupScan{Var: "g", Sch: partSchema()},
+			GroupCols: []*ColRef{Col("p_name")},
+			Aggs:      []AggSpec{{Fn: "sum", Arg: Col("p_retailprice")}},
+		},
+		Keys: []OrderKey{{Expr: Col("p_name")}},
+	}
+	got := DedupCols(ReferencedColumns(n))
+	if len(got) != 2 {
+		t.Errorf("ReferencedColumns = %v", got)
+	}
+}
+
+func TestOuterRefsIn(t *testing.T) {
+	inner := &Select{
+		Input: &Scan{Table: "part", Def: partDef()},
+		Cond:  &Cmp{Op: "=", L: Col("p_partkey"), R: &OuterRef{Table: "partsupp", Name: "ps_partkey"}},
+	}
+	refs := OuterRefsIn(inner)
+	if len(refs) != 1 || refs[0].Name != "ps_partkey" {
+		t.Errorf("OuterRefsIn = %v", refs)
+	}
+	if len(OuterRefsIn(&Scan{Table: "part", Def: partDef()})) != 0 {
+		t.Error("scan has no outer refs")
+	}
+}
+
+func TestDedupCols(t *testing.T) {
+	cols := []*ColRef{QCol("t", "a"), QCol("T", "A"), QCol("t", "b"), Col("a")}
+	got := DedupCols(cols)
+	if len(got) != 3 {
+		t.Errorf("DedupCols = %v", got)
+	}
+	if got[0].Name != "a" || got[1].Name != "b" {
+		t.Errorf("order not preserved: %v", got)
+	}
+}

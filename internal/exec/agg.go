@@ -1,0 +1,322 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"gapplydb/internal/core"
+	"gapplydb/internal/schema"
+	"gapplydb/internal/types"
+)
+
+// accum is one aggregate's running state. SQL semantics: aggregates skip
+// NULL inputs (except count(*)); on zero qualifying inputs count is 0 and
+// every other aggregate is NULL — the behaviour the paper's emptyOnEmpty
+// analysis reasons about.
+type accum struct {
+	fn       string
+	star     bool
+	distinct bool
+	seen     map[string]bool
+
+	rows     int64 // rows seen (count(*))
+	n        int64 // non-null inputs
+	sumI     int64
+	sumF     float64
+	anyFloat bool
+	minV     types.Value
+	maxV     types.Value
+}
+
+func newAccum(spec core.AggSpec) (*accum, error) {
+	fn := strings.ToLower(spec.Fn)
+	switch fn {
+	case "count", "sum", "avg", "min", "max":
+	default:
+		return nil, fmt.Errorf("exec: unknown aggregate %q", spec.Fn)
+	}
+	a := &accum{fn: fn, star: spec.Star, distinct: spec.Distinct}
+	if spec.Distinct {
+		a.seen = make(map[string]bool)
+	}
+	return a, nil
+}
+
+func (a *accum) add(v types.Value) error {
+	a.rows++
+	if a.star {
+		return nil
+	}
+	if v.IsNull() {
+		return nil
+	}
+	if a.distinct {
+		k := (types.Row{v}).KeyAll()
+		if a.seen[k] {
+			return nil
+		}
+		a.seen[k] = true
+	}
+	a.n++
+	switch a.fn {
+	case "count":
+	case "sum", "avg":
+		switch v.K {
+		case types.KindInt:
+			a.sumI += v.I
+			a.sumF += float64(v.I)
+		case types.KindFloat:
+			a.anyFloat = true
+			a.sumF += v.F
+		default:
+			return fmt.Errorf("exec: %s over non-numeric %s", a.fn, v.K)
+		}
+	case "min":
+		if a.minV.IsNull() {
+			a.minV = v
+		} else if c, ok := types.Compare(v, a.minV); ok && c < 0 {
+			a.minV = v
+		}
+	case "max":
+		if a.maxV.IsNull() {
+			a.maxV = v
+		} else if c, ok := types.Compare(v, a.maxV); ok && c > 0 {
+			a.maxV = v
+		}
+	}
+	return nil
+}
+
+func (a *accum) result() types.Value {
+	switch a.fn {
+	case "count":
+		if a.star {
+			return types.NewInt(a.rows)
+		}
+		return types.NewInt(a.n)
+	case "sum":
+		if a.n == 0 {
+			return types.Null
+		}
+		if a.anyFloat {
+			return types.NewFloat(a.sumF)
+		}
+		return types.NewInt(a.sumI)
+	case "avg":
+		if a.n == 0 {
+			return types.Null
+		}
+		return types.NewFloat(a.sumF / float64(a.n))
+	case "min":
+		return a.minV
+	case "max":
+		return a.maxV
+	}
+	return types.Null
+}
+
+// compiledAgg pairs a spec with its argument evaluator.
+type compiledAgg struct {
+	spec core.AggSpec
+	arg  evalFn // nil for count(*)
+}
+
+func compileAggs(specs []core.AggSpec, in *schema.Schema, env compileEnv) ([]compiledAgg, error) {
+	out := make([]compiledAgg, len(specs))
+	for i, s := range specs {
+		ca := compiledAgg{spec: s}
+		if !s.Star {
+			if s.Arg == nil {
+				return nil, fmt.Errorf("exec: aggregate %s missing argument", s.Fn)
+			}
+			fn, err := compileExpr(s.Arg, in, env)
+			if err != nil {
+				return nil, err
+			}
+			ca.arg = fn
+		}
+		out[i] = ca
+	}
+	return out, nil
+}
+
+func feed(aggs []compiledAgg, states []*accum, r types.Row, ctx *Context) error {
+	for i, a := range aggs {
+		var v types.Value
+		if a.arg != nil {
+			var err error
+			v, err = a.arg(r, ctx)
+			if err != nil {
+				return err
+			}
+		}
+		if err := states[i].add(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func newStates(aggs []compiledAgg) ([]*accum, error) {
+	states := make([]*accum, len(aggs))
+	for i, a := range aggs {
+		st, err := newAccum(a.spec)
+		if err != nil {
+			return nil, err
+		}
+		states[i] = st
+	}
+	return states, nil
+}
+
+func buildGroupBy(g *core.GroupBy, ctx *Context, env compileEnv) (Iterator, error) {
+	in, err := build(g.Input, ctx, env)
+	if err != nil {
+		return nil, err
+	}
+	inSchema := g.Input.Schema()
+	ords, err := resolveCols(g.GroupCols, inSchema)
+	if err != nil {
+		return nil, err
+	}
+	aggs, err := compileAggs(g.Aggs, inSchema, env)
+	if err != nil {
+		return nil, err
+	}
+	return &hashGroupBy{input: in, ords: ords, aggs: aggs, ctx: ctx}, nil
+}
+
+// hashGroupBy materializes groups in first-seen order and emits one row
+// per group: the grouping values followed by the aggregate results. A
+// groupby of the empty input is empty (unlike the scalar aggregate).
+type hashGroupBy struct {
+	input Iterator
+	ords  []int
+	aggs  []compiledAgg
+	ctx   *Context
+
+	keys   []types.Row
+	states [][]*accum
+	pos    int
+}
+
+func (h *hashGroupBy) Open() error {
+	if err := h.input.Open(); err != nil {
+		return err
+	}
+	index := make(map[string]int)
+	h.keys, h.states = nil, nil
+	for {
+		r, ok, err := h.input.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		k := r.Key(h.ords)
+		idx, exists := index[k]
+		if !exists {
+			st, err := newStates(h.aggs)
+			if err != nil {
+				return err
+			}
+			idx = len(h.keys)
+			index[k] = idx
+			h.keys = append(h.keys, r.Project(h.ords))
+			h.states = append(h.states, st)
+		}
+		if err := feed(h.aggs, h.states[idx], r, h.ctx); err != nil {
+			return err
+		}
+	}
+	if err := h.input.Close(); err != nil {
+		return err
+	}
+	h.pos = 0
+	return nil
+}
+
+func (h *hashGroupBy) Next() (types.Row, bool, error) {
+	if h.pos >= len(h.keys) {
+		return nil, false, nil
+	}
+	i := h.pos
+	h.pos++
+	out := make(types.Row, 0, len(h.ords)+len(h.aggs))
+	out = append(out, h.keys[i]...)
+	for _, st := range h.states[i] {
+		out = append(out, st.result())
+	}
+	return out, true, nil
+}
+
+func (h *hashGroupBy) Close() error {
+	h.keys, h.states = nil, nil
+	return nil
+}
+
+func buildScalarAgg(a *core.AggOp, ctx *Context, env compileEnv) (Iterator, error) {
+	in, err := build(a.Input, ctx, env)
+	if err != nil {
+		return nil, err
+	}
+	aggs, err := compileAggs(a.Aggs, a.Input.Schema(), env)
+	if err != nil {
+		return nil, err
+	}
+	return &scalarAgg{input: in, aggs: aggs, ctx: ctx}, nil
+}
+
+// scalarAgg aggregates the whole input into exactly one row — including
+// on empty input, where count(*) is 0 and other aggregates are NULL.
+// This "not necessarily empty on empty" behaviour is why the paper's
+// selection-pushing rule must verify PGQ(φ)=φ before firing.
+type scalarAgg struct {
+	input Iterator
+	aggs  []compiledAgg
+	ctx   *Context
+	done  bool
+	out   types.Row
+}
+
+func (s *scalarAgg) Open() error {
+	if err := s.input.Open(); err != nil {
+		return err
+	}
+	states, err := newStates(s.aggs)
+	if err != nil {
+		return err
+	}
+	for {
+		r, ok, err := s.input.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := feed(s.aggs, states, r, s.ctx); err != nil {
+			return err
+		}
+	}
+	if err := s.input.Close(); err != nil {
+		return err
+	}
+	s.out = make(types.Row, len(states))
+	for i, st := range states {
+		s.out[i] = st.result()
+	}
+	s.done = false
+	return nil
+}
+
+func (s *scalarAgg) Next() (types.Row, bool, error) {
+	if s.done {
+		return nil, false, nil
+	}
+	s.done = true
+	return s.out, true, nil
+}
+
+func (s *scalarAgg) Close() error { return nil }

@@ -1,0 +1,108 @@
+package exec
+
+import (
+	"gapplydb/internal/core"
+	"gapplydb/internal/types"
+)
+
+func buildApply(a *core.Apply, ctx *Context, env compileEnv) (Iterator, error) {
+	outer, err := build(a.Outer, ctx, env)
+	if err != nil {
+		return nil, err
+	}
+	outerSchema := a.Outer.Schema()
+	inner, err := build(a.Inner, ctx, env.push(outerSchema))
+	if err != nil {
+		return nil, err
+	}
+	return &apply{
+		outer:        outer,
+		inner:        inner,
+		ctx:          ctx,
+		outerApply:   a.Kind == core.OuterApply,
+		innerArity:   a.Inner.Schema().Len(),
+		uncorrelated: len(core.OuterRefsIn(a.Inner)) == 0,
+	}, nil
+}
+
+// apply re-executes the inner tree once per outer row — the correlated
+// subquery execution model the paper builds GApply's physical
+// implementation on. When the inner has no outer references its result
+// cannot change across the outer loop (it may still change when a group
+// binding changes), so it is materialized once per binding version —
+// the standard cached-subquery optimization.
+type apply struct {
+	outer, inner Iterator
+	ctx          *Context
+	outerApply   bool
+	innerArity   int
+	uncorrelated bool
+
+	cache        []types.Row
+	cacheVersion uint64
+	cacheValid   bool
+
+	cur     types.Row
+	results []types.Row
+	rpos    int
+}
+
+func (a *apply) Open() error {
+	a.cur, a.results, a.rpos = nil, nil, 0
+	a.cacheValid = false
+	return a.outer.Open()
+}
+
+func (a *apply) innerRows() ([]types.Row, error) {
+	if a.uncorrelated {
+		if a.cacheValid && a.cacheVersion == a.ctx.version {
+			a.ctx.Counters.ApplyCacheHits++
+			return a.cache, nil
+		}
+	}
+	a.ctx.Counters.ApplyExecs++
+	rows, err := Drain(a.inner)
+	if err != nil {
+		return nil, err
+	}
+	if a.uncorrelated {
+		a.cache, a.cacheVersion, a.cacheValid = rows, a.ctx.version, true
+	}
+	return rows, nil
+}
+
+func (a *apply) Next() (types.Row, bool, error) {
+	for {
+		if a.cur == nil {
+			r, ok, err := a.outer.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			a.cur = r
+			a.ctx.pushOuter(r)
+			rows, err := a.innerRows()
+			a.ctx.popOuter()
+			if err != nil {
+				return nil, false, err
+			}
+			a.results, a.rpos = rows, 0
+			if len(rows) == 0 && a.outerApply {
+				out := a.cur.Concat(make(types.Row, a.innerArity))
+				a.cur = nil
+				return out, true, nil
+			}
+		}
+		if a.rpos < len(a.results) {
+			out := a.cur.Concat(a.results[a.rpos])
+			a.rpos++
+			return out, true, nil
+		}
+		a.cur = nil
+	}
+}
+
+func (a *apply) Close() error {
+	a.results, a.cache = nil, nil
+	a.cacheValid = false
+	return a.outer.Close()
+}

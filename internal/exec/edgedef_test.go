@@ -1,0 +1,17 @@
+package exec
+
+import (
+	"gapplydb/internal/schema"
+	"gapplydb/internal/types"
+)
+
+func dateTableDef() *schema.TableDef {
+	return &schema.TableDef{
+		Name: "events",
+		Schema: schema.New(
+			schema.Column{Name: "e_id", Type: types.KindInt},
+			schema.Column{Name: "e_day", Type: types.KindDate},
+		),
+		PrimaryKey: []string{"e_id"},
+	}
+}

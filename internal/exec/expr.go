@@ -1,0 +1,279 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"gapplydb/internal/core"
+	"gapplydb/internal/schema"
+	"gapplydb/internal/types"
+)
+
+// evalFn evaluates a compiled expression against an input row.
+type evalFn func(row types.Row, ctx *Context) (types.Value, error)
+
+// compileEnv is the compile-time stack of enclosing Apply outer schemas,
+// innermost last; OuterRefs resolve against it to a (depth, ordinal).
+type compileEnv []*schema.Schema
+
+// push returns the env extended with one more outer schema.
+func (e compileEnv) push(s *schema.Schema) compileEnv {
+	out := make(compileEnv, len(e)+1)
+	copy(out, e)
+	out[len(e)] = s
+	return out
+}
+
+// compileExpr compiles a scalar expression against an input schema.
+func compileExpr(e core.Expr, in *schema.Schema, env compileEnv) (evalFn, error) {
+	switch x := e.(type) {
+	case *core.ColRef:
+		ord, err := in.Resolve(x.Table, x.Name)
+		if err != nil {
+			return nil, err
+		}
+		return func(row types.Row, _ *Context) (types.Value, error) {
+			return row[ord], nil
+		}, nil
+
+	case *core.OuterRef:
+		// Resolve from the innermost enclosing outer schema out.
+		for depth := 0; depth < len(env); depth++ {
+			sch := env[len(env)-1-depth]
+			if ord, err := sch.Resolve(x.Table, x.Name); err == nil {
+				d := depth
+				return func(_ types.Row, ctx *Context) (types.Value, error) {
+					return ctx.outerAt(d)[ord], nil
+				}, nil
+			}
+		}
+		return nil, fmt.Errorf("exec: outer reference %s does not resolve in any enclosing scope", x)
+
+	case *core.Lit:
+		v := x.V
+		return func(types.Row, *Context) (types.Value, error) { return v, nil }, nil
+
+	case *core.BinOp:
+		l, err := compileExpr(x.L, in, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileExpr(x.R, in, env)
+		if err != nil {
+			return nil, err
+		}
+		var op func(a, b types.Value) (types.Value, error)
+		switch x.Op {
+		case "+":
+			op = types.Add
+		case "-":
+			op = types.Sub
+		case "*":
+			op = types.Mul
+		case "/":
+			op = types.Div
+		default:
+			return nil, fmt.Errorf("exec: unknown arithmetic operator %q", x.Op)
+		}
+		return func(row types.Row, ctx *Context) (types.Value, error) {
+			a, err := l(row, ctx)
+			if err != nil {
+				return types.Null, err
+			}
+			b, err := r(row, ctx)
+			if err != nil {
+				return types.Null, err
+			}
+			return op(a, b)
+		}, nil
+
+	case *core.Cmp:
+		l, err := compileExpr(x.L, in, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileExpr(x.R, in, env)
+		if err != nil {
+			return nil, err
+		}
+		op := x.Op
+		return func(row types.Row, ctx *Context) (types.Value, error) {
+			a, err := l(row, ctx)
+			if err != nil {
+				return types.Null, err
+			}
+			b, err := r(row, ctx)
+			if err != nil {
+				return types.Null, err
+			}
+			c, ok := types.Compare(a, b)
+			if !ok {
+				return types.Unknown.Value(), nil
+			}
+			var t types.Tri
+			switch op {
+			case "=":
+				t = types.TriOf(c == 0)
+			case "<>", "!=":
+				t = types.TriOf(c != 0)
+			case "<":
+				t = types.TriOf(c < 0)
+			case "<=":
+				t = types.TriOf(c <= 0)
+			case ">":
+				t = types.TriOf(c > 0)
+			case ">=":
+				t = types.TriOf(c >= 0)
+			default:
+				return types.Null, fmt.Errorf("exec: unknown comparison %q", op)
+			}
+			return t.Value(), nil
+		}, nil
+
+	case *core.And:
+		ops, err := compileAll(x.Ops, in, env)
+		if err != nil {
+			return nil, err
+		}
+		return func(row types.Row, ctx *Context) (types.Value, error) {
+			acc := types.True
+			for _, f := range ops {
+				v, err := f(row, ctx)
+				if err != nil {
+					return types.Null, err
+				}
+				acc = acc.And(triOf(v))
+				if acc == types.False {
+					break
+				}
+			}
+			return acc.Value(), nil
+		}, nil
+
+	case *core.Or:
+		ops, err := compileAll(x.Ops, in, env)
+		if err != nil {
+			return nil, err
+		}
+		return func(row types.Row, ctx *Context) (types.Value, error) {
+			acc := types.False
+			for _, f := range ops {
+				v, err := f(row, ctx)
+				if err != nil {
+					return types.Null, err
+				}
+				acc = acc.Or(triOf(v))
+				if acc == types.True {
+					break
+				}
+			}
+			return acc.Value(), nil
+		}, nil
+
+	case *core.Not:
+		f, err := compileExpr(x.Op, in, env)
+		if err != nil {
+			return nil, err
+		}
+		return func(row types.Row, ctx *Context) (types.Value, error) {
+			v, err := f(row, ctx)
+			if err != nil {
+				return types.Null, err
+			}
+			return triOf(v).Not().Value(), nil
+		}, nil
+
+	case *core.Func:
+		args, err := compileAll(x.Args, in, env)
+		if err != nil {
+			return nil, err
+		}
+		switch strings.ToLower(x.Name) {
+		case "coalesce":
+			return func(row types.Row, ctx *Context) (types.Value, error) {
+				for _, f := range args {
+					v, err := f(row, ctx)
+					if err != nil {
+						return types.Null, err
+					}
+					if !v.IsNull() {
+						return v, nil
+					}
+				}
+				return types.Null, nil
+			}, nil
+		case "abs":
+			if len(args) != 1 {
+				return nil, fmt.Errorf("exec: abs takes one argument")
+			}
+			return func(row types.Row, ctx *Context) (types.Value, error) {
+				v, err := args[0](row, ctx)
+				if err != nil || v.IsNull() {
+					return types.Null, err
+				}
+				switch v.K {
+				case types.KindInt:
+					if v.I < 0 {
+						return types.NewInt(-v.I), nil
+					}
+					return v, nil
+				case types.KindFloat:
+					if v.F < 0 {
+						return types.NewFloat(-v.F), nil
+					}
+					return v, nil
+				default:
+					return types.Null, fmt.Errorf("exec: abs of %s", v.K)
+				}
+			}, nil
+		default:
+			return nil, fmt.Errorf("exec: unknown function %q", x.Name)
+		}
+
+	case *core.ScalarSubquery, *core.ExistsExpr:
+		return nil, fmt.Errorf("exec: un-normalized subquery reached the executor; the binder must rewrite it into Apply")
+
+	default:
+		return nil, fmt.Errorf("exec: unknown expression %T", e)
+	}
+}
+
+func compileAll(exprs []core.Expr, in *schema.Schema, env compileEnv) ([]evalFn, error) {
+	out := make([]evalFn, len(exprs))
+	for i, e := range exprs {
+		f, err := compileExpr(e, in, env)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+// triOf interprets a value as a predicate result.
+func triOf(v types.Value) types.Tri {
+	if v.IsNull() {
+		return types.Unknown
+	}
+	return types.TriOf(v.Bool())
+}
+
+// compilePredicate wraps compileExpr for WHERE-style conditions: the
+// returned function is true only when the expression is True (NULL and
+// false both reject the row).
+func compilePredicate(e core.Expr, in *schema.Schema, env compileEnv) (func(types.Row, *Context) (bool, error), error) {
+	if e == nil {
+		return func(types.Row, *Context) (bool, error) { return true, nil }, nil
+	}
+	f, err := compileExpr(e, in, env)
+	if err != nil {
+		return nil, err
+	}
+	return func(row types.Row, ctx *Context) (bool, error) {
+		v, err := f(row, ctx)
+		if err != nil {
+			return false, err
+		}
+		return triOf(v) == types.True, nil
+	}, nil
+}

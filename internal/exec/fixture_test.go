@@ -1,0 +1,87 @@
+package exec
+
+import (
+	"gapplydb/internal/schema"
+	"gapplydb/internal/storage"
+	"gapplydb/internal/types"
+)
+
+type catalogT = storage.Catalog
+
+// buildFixtureCatalog constructs the shared test data set described in
+// exec_test.go's fixture comment.
+func buildFixtureCatalog() *storage.Catalog {
+	cat := storage.NewCatalog()
+	sup, err := cat.Create(&schema.TableDef{
+		Name: "supplier",
+		Schema: schema.New(
+			schema.Column{Name: "s_suppkey", Type: types.KindInt},
+			schema.Column{Name: "s_name", Type: types.KindString},
+		),
+		PrimaryKey: []string{"s_suppkey"},
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range []types.Row{
+		{types.NewInt(1), types.NewString("alpha")},
+		{types.NewInt(2), types.NewString("beta")},
+		{types.NewInt(3), types.NewString("gamma")},
+	} {
+		if err := sup.Append(r); err != nil {
+			panic(err)
+		}
+	}
+
+	part, err := cat.Create(&schema.TableDef{
+		Name: "part",
+		Schema: schema.New(
+			schema.Column{Name: "p_partkey", Type: types.KindInt},
+			schema.Column{Name: "p_name", Type: types.KindString},
+			schema.Column{Name: "p_retailprice", Type: types.KindFloat},
+			schema.Column{Name: "p_brand", Type: types.KindString},
+		),
+		PrimaryKey: []string{"p_partkey"},
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range []types.Row{
+		{types.NewInt(1), types.NewString("bolt"), types.NewFloat(10), types.NewString("Brand#A")},
+		{types.NewInt(2), types.NewString("nut"), types.NewFloat(20), types.NewString("Brand#B")},
+		{types.NewInt(3), types.NewString("washer"), types.NewFloat(30), types.NewString("Brand#A")},
+		{types.NewInt(4), types.NewString("screw"), types.NewFloat(40), types.NewString("Brand#B")},
+	} {
+		if err := part.Append(r); err != nil {
+			panic(err)
+		}
+	}
+
+	ps, err := cat.Create(&schema.TableDef{
+		Name: "partsupp",
+		Schema: schema.New(
+			schema.Column{Name: "ps_partkey", Type: types.KindInt},
+			schema.Column{Name: "ps_suppkey", Type: types.KindInt},
+		),
+		PrimaryKey: []string{"ps_partkey", "ps_suppkey"},
+		ForeignKeys: []schema.ForeignKey{
+			{Cols: []string{"ps_partkey"}, RefTable: "part", RefCols: []string{"p_partkey"}},
+			{Cols: []string{"ps_suppkey"}, RefTable: "supplier", RefCols: []string{"s_suppkey"}},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range []types.Row{
+		{types.NewInt(1), types.NewInt(1)},
+		{types.NewInt(2), types.NewInt(1)},
+		{types.NewInt(3), types.NewInt(1)},
+		{types.NewInt(3), types.NewInt(2)},
+		{types.NewInt(4), types.NewInt(2)},
+	} {
+		if err := ps.Append(r); err != nil {
+			panic(err)
+		}
+	}
+	return cat
+}

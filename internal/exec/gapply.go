@@ -1,0 +1,164 @@
+package exec
+
+import (
+	"sort"
+
+	"gapplydb/internal/core"
+	"gapplydb/internal/types"
+)
+
+func buildGApply(g *core.GApply, ctx *Context, env compileEnv) (Iterator, error) {
+	outer, err := build(g.Outer, ctx, env)
+	if err != nil {
+		return nil, err
+	}
+	ords, err := resolveCols(g.GroupCols, g.Outer.Schema())
+	if err != nil {
+		return nil, err
+	}
+	// The per-group query reads the group through GroupScan, not through
+	// OuterRefs, so it compiles against the same env.
+	inner, err := build(g.Inner, ctx, env)
+	if err != nil {
+		return nil, err
+	}
+	return &gapply{
+		outer:    outer,
+		inner:    inner,
+		ctx:      ctx,
+		ords:     ords,
+		groupVar: g.GroupVar,
+		sortPart: g.Partition == core.PartitionSort,
+	}, nil
+}
+
+// gapply is the paper's physical GApply (§3): a Partition phase that
+// splits the outer stream into groups on the grouping columns (by
+// hashing or sorting), then an Execution phase that runs in nested-loops
+// fashion, binding the relation-valued parameter $group to each group in
+// succession and evaluating the per-group query against it. Both
+// strategies emit results clustered by group, which is what lets the
+// syntax drop the ORDER BY a sorted-outer-union query needs for a
+// constant-space tagger.
+type gapply struct {
+	outer, inner Iterator
+	ctx          *Context
+	ords         []int
+	groupVar     string
+	sortPart     bool
+
+	groups  [][]types.Row
+	gpos    int
+	keyVals types.Row
+	started bool
+}
+
+func (g *gapply) Open() error {
+	rows, err := Drain(g.outer)
+	if err != nil {
+		return err
+	}
+	if g.sortPart {
+		g.groups = partitionBySort(rows, g.ords)
+	} else {
+		g.groups = partitionByHash(rows, g.ords)
+	}
+	g.ctx.Counters.Groups += int64(len(g.groups))
+	g.gpos = 0
+	g.started = false
+	return nil
+}
+
+// partitionByHash groups rows by hashing the grouping columns; group
+// order is first appearance in the input, so output is deterministic.
+// Rows are copied into the group's storage: each group is a temporary
+// relation (paper §3), so the partition phase pays memory traffic
+// proportional to row width — the cost the projection-before-GApply
+// rule exists to shrink.
+func partitionByHash(rows []types.Row, ords []int) [][]types.Row {
+	index := make(map[string]int)
+	var groups [][]types.Row
+	for _, r := range rows {
+		k := r.Key(ords)
+		i, ok := index[k]
+		if !ok {
+			i = len(groups)
+			index[k] = i
+			groups = append(groups, nil)
+		}
+		groups[i] = append(groups[i], r.Clone())
+	}
+	return groups
+}
+
+// partitionBySort sorts rows on the grouping columns and cuts runs,
+// copying rows into the sorted temporary storage (see partitionByHash).
+func partitionBySort(rows []types.Row, ords []int) [][]types.Row {
+	sorted := make([]types.Row, len(rows))
+	for i, r := range rows {
+		sorted[i] = r.Clone()
+	}
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return types.CompareRows(sorted[i], sorted[j], ords, nil) < 0
+	})
+	var groups [][]types.Row
+	start := 0
+	for i := 1; i <= len(sorted); i++ {
+		if i == len(sorted) || types.CompareRows(sorted[i], sorted[start], ords, nil) != 0 {
+			groups = append(groups, sorted[start:i])
+			start = i
+		}
+	}
+	return groups
+}
+
+// advance binds the next group and opens the per-group query over it.
+func (g *gapply) advance() (bool, error) {
+	for g.gpos < len(g.groups) {
+		group := g.groups[g.gpos]
+		g.gpos++
+		g.ctx.BindGroup(g.groupVar, group)
+		g.keyVals = group[0].Project(g.ords)
+		g.ctx.Counters.InnerExecs++
+		if err := g.inner.Open(); err != nil {
+			return false, err
+		}
+		g.started = true
+		return true, nil
+	}
+	return false, nil
+}
+
+func (g *gapply) Next() (types.Row, bool, error) {
+	for {
+		if !g.started {
+			ok, err := g.advance()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				return nil, false, nil
+			}
+		}
+		r, ok, err := g.inner.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return g.keyVals.Concat(r), true, nil
+		}
+		if err := g.inner.Close(); err != nil {
+			return nil, false, err
+		}
+		g.started = false
+	}
+}
+
+func (g *gapply) Close() error {
+	g.groups = nil
+	if g.started {
+		g.started = false
+		return g.inner.Close()
+	}
+	return nil
+}

@@ -1,0 +1,296 @@
+package exec
+
+import (
+	"sort"
+
+	"gapplydb/internal/storage"
+	"gapplydb/internal/types"
+)
+
+// tableScan produces the rows of a base table.
+type tableScan struct {
+	table *storage.Table
+	ctx   *Context
+	pos   int
+}
+
+func (s *tableScan) Open() error { s.pos = 0; return nil }
+func (s *tableScan) Next() (types.Row, bool, error) {
+	if s.pos >= len(s.table.Rows) {
+		return nil, false, nil
+	}
+	r := s.table.Rows[s.pos]
+	s.pos++
+	s.ctx.Counters.RowsScanned++
+	return r, true, nil
+}
+func (s *tableScan) Close() error { return nil }
+
+// groupScan produces the rows currently bound to a group variable — the
+// paper's "leaf scan operator receives the relation-valued parameter".
+type groupScan struct {
+	varName string
+	ctx     *Context
+	rows    []types.Row
+	pos     int
+}
+
+func (s *groupScan) Open() error {
+	rows, err := s.ctx.Group(s.varName)
+	if err != nil {
+		return err
+	}
+	s.rows, s.pos = rows, 0
+	return nil
+}
+func (s *groupScan) Next() (types.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	s.ctx.Counters.GroupScanRows++
+	return r, true, nil
+}
+func (s *groupScan) Close() error { return nil }
+
+// filter passes rows whose predicate evaluates to True.
+type filter struct {
+	input Iterator
+	pred  func(types.Row, *Context) (bool, error)
+	ctx   *Context
+}
+
+func (f *filter) Open() error { return f.input.Open() }
+func (f *filter) Next() (types.Row, bool, error) {
+	for {
+		r, ok, err := f.input.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		pass, err := f.pred(r, f.ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		if pass {
+			return r, true, nil
+		}
+	}
+}
+func (f *filter) Close() error { return f.input.Close() }
+
+// project computes output expressions per row.
+type project struct {
+	input Iterator
+	exprs []evalFn
+	ctx   *Context
+}
+
+func (p *project) Open() error { return p.input.Open() }
+func (p *project) Next() (types.Row, bool, error) {
+	r, ok, err := p.input.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(types.Row, len(p.exprs))
+	for i, f := range p.exprs {
+		v, err := f(r, p.ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = v
+	}
+	return out, true, nil
+}
+func (p *project) Close() error { return p.input.Close() }
+
+// projectCols is the pure-column projection fast path.
+type projectCols struct {
+	input Iterator
+	ords  []int
+}
+
+func (p *projectCols) Open() error { return p.input.Open() }
+func (p *projectCols) Next() (types.Row, bool, error) {
+	r, ok, err := p.input.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return r.Project(p.ords), true, nil
+}
+func (p *projectCols) Close() error { return p.input.Close() }
+
+// distinct eliminates duplicate rows via a hash set.
+type distinct struct {
+	input Iterator
+	seen  map[string]bool
+}
+
+func (d *distinct) Open() error {
+	d.seen = make(map[string]bool)
+	return d.input.Open()
+}
+func (d *distinct) Next() (types.Row, bool, error) {
+	for {
+		r, ok, err := d.input.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		k := r.KeyAll()
+		if d.seen[k] {
+			continue
+		}
+		d.seen[k] = true
+		return r, true, nil
+	}
+}
+func (d *distinct) Close() error { return d.input.Close() }
+
+// unionAll concatenates its inputs.
+type unionAll struct {
+	inputs []Iterator
+	cur    int
+}
+
+func (u *unionAll) Open() error {
+	u.cur = 0
+	if len(u.inputs) == 0 {
+		return nil
+	}
+	return u.inputs[0].Open()
+}
+func (u *unionAll) Next() (types.Row, bool, error) {
+	for u.cur < len(u.inputs) {
+		r, ok, err := u.inputs[u.cur].Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return r, true, nil
+		}
+		if err := u.inputs[u.cur].Close(); err != nil {
+			return nil, false, err
+		}
+		u.cur++
+		if u.cur < len(u.inputs) {
+			if err := u.inputs[u.cur].Open(); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+	return nil, false, nil
+}
+func (u *unionAll) Close() error {
+	if u.cur < len(u.inputs) {
+		return u.inputs[u.cur].Close()
+	}
+	return nil
+}
+
+// sortIter materializes its input and sorts by compiled keys. Sorting is
+// stable so equal keys preserve input order, which keeps test
+// expectations and the constant-space tagger deterministic.
+type sortIter struct {
+	input Iterator
+	keys  []compiledKey
+	ctx   *Context
+	rows  []types.Row
+	pos   int
+}
+
+func (s *sortIter) Open() error {
+	if err := s.input.Open(); err != nil {
+		return err
+	}
+	type keyed struct {
+		row  types.Row
+		keys types.Row
+	}
+	var data []keyed
+	for {
+		r, ok, err := s.input.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		kv := make(types.Row, len(s.keys))
+		for i, k := range s.keys {
+			v, err := k.fn(r, s.ctx)
+			if err != nil {
+				return err
+			}
+			kv[i] = v
+		}
+		data = append(data, keyed{row: r, keys: kv})
+	}
+	if err := s.input.Close(); err != nil {
+		return err
+	}
+	sort.SliceStable(data, func(i, j int) bool {
+		for k := range s.keys {
+			c := types.SortCompare(data[i].keys[k], data[j].keys[k])
+			if c == 0 {
+				continue
+			}
+			if s.keys[k].desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	s.rows = make([]types.Row, len(data))
+	for i, d := range data {
+		s.rows[i] = d.row
+	}
+	s.pos = 0
+	return nil
+}
+func (s *sortIter) Next() (types.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+func (s *sortIter) Close() error {
+	s.rows = nil
+	return nil
+}
+
+// exists consumes its input and emits a single zero-column row when the
+// input is nonempty (or empty, when negated) — the paper's Exists
+// returning {φ} or φ.
+type exists struct {
+	input   Iterator
+	negated bool
+	done    bool
+	emit    bool
+}
+
+func (e *exists) Open() error {
+	e.done = false
+	if err := e.input.Open(); err != nil {
+		return err
+	}
+	_, ok, err := e.input.Next()
+	if err != nil {
+		return err
+	}
+	if err := e.input.Close(); err != nil {
+		return err
+	}
+	e.emit = ok != e.negated
+	return nil
+}
+func (e *exists) Next() (types.Row, bool, error) {
+	if e.done || !e.emit {
+		return nil, false, nil
+	}
+	e.done = true
+	return types.Row{}, true, nil
+}
+func (e *exists) Close() error { return nil }

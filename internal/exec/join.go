@@ -1,0 +1,212 @@
+package exec
+
+import (
+	"gapplydb/internal/core"
+	"gapplydb/internal/types"
+)
+
+func buildJoin(j *core.Join, ctx *Context, env compileEnv) (Iterator, error) {
+	left, err := build(j.Left, ctx, env)
+	if err != nil {
+		return nil, err
+	}
+	right, err := build(j.Right, ctx, env)
+	if err != nil {
+		return nil, err
+	}
+	outSchema := j.Schema()
+	pred, err := compilePredicate(j.Cond, outSchema, env)
+	if err != nil {
+		return nil, err
+	}
+	pairs := j.EquiPairs()
+	method := j.Method
+	if method == core.JoinAuto {
+		if len(pairs) > 0 {
+			method = core.JoinHash
+		} else {
+			method = core.JoinNestedLoops
+		}
+	}
+	rightArity := j.Right.Schema().Len()
+	if method == core.JoinHash && len(pairs) > 0 {
+		leftOrds := make([]int, len(pairs))
+		rightOrds := make([]int, len(pairs))
+		ls, rs := j.Left.Schema(), j.Right.Schema()
+		for i, p := range pairs {
+			lo, err := ls.Resolve(p.Left.Table, p.Left.Name)
+			if err != nil {
+				return nil, err
+			}
+			ro, err := rs.Resolve(p.Right.Table, p.Right.Name)
+			if err != nil {
+				return nil, err
+			}
+			leftOrds[i], rightOrds[i] = lo, ro
+		}
+		return &hashJoin{
+			left: left, right: right, pred: pred, ctx: ctx,
+			leftOrds: leftOrds, rightOrds: rightOrds,
+			outerJoin: j.Kind == core.LeftOuterJoin, rightArity: rightArity,
+		}, nil
+	}
+	return &nlJoin{
+		left: left, right: right, pred: pred, ctx: ctx,
+		outerJoin: j.Kind == core.LeftOuterJoin, rightArity: rightArity,
+	}, nil
+}
+
+// hashJoin builds a hash table on the right input's equi-columns and
+// probes it with left rows; the full join condition runs as a residual
+// predicate over the concatenated row. Left-outer pads NULLs for
+// unmatched left rows.
+type hashJoin struct {
+	left, right Iterator
+	pred        func(types.Row, *Context) (bool, error)
+	ctx         *Context
+	leftOrds    []int
+	rightOrds   []int
+	outerJoin   bool
+	rightArity  int
+
+	table   map[string][]types.Row
+	cur     types.Row // current left row
+	bucket  []types.Row
+	bpos    int
+	matched bool
+}
+
+func (h *hashJoin) Open() error {
+	if err := h.right.Open(); err != nil {
+		return err
+	}
+	h.table = make(map[string][]types.Row)
+	for {
+		r, ok, err := h.right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		k := r.Key(h.rightOrds)
+		h.table[k] = append(h.table[k], r)
+	}
+	if err := h.right.Close(); err != nil {
+		return err
+	}
+	h.cur, h.bucket, h.bpos = nil, nil, 0
+	return h.left.Open()
+}
+
+func (h *hashJoin) Next() (types.Row, bool, error) {
+	for {
+		if h.cur == nil {
+			r, ok, err := h.left.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			h.ctx.Counters.JoinProbes++
+			h.cur = r
+			// NULL join keys never match (predicate equality), so skip
+			// the probe; outer join still pads.
+			hasNull := false
+			for _, o := range h.leftOrds {
+				if r[o].IsNull() {
+					hasNull = true
+					break
+				}
+			}
+			if hasNull {
+				h.bucket = nil
+			} else {
+				h.bucket = h.table[r.Key(h.leftOrds)]
+			}
+			h.bpos, h.matched = 0, false
+		}
+		for h.bpos < len(h.bucket) {
+			rr := h.bucket[h.bpos]
+			h.bpos++
+			out := h.cur.Concat(rr)
+			pass, err := h.pred(out, h.ctx)
+			if err != nil {
+				return nil, false, err
+			}
+			if pass {
+				h.matched = true
+				return out, true, nil
+			}
+		}
+		if h.outerJoin && !h.matched {
+			out := h.cur.Concat(make(types.Row, h.rightArity))
+			h.cur = nil
+			return out, true, nil
+		}
+		h.cur = nil
+	}
+}
+
+func (h *hashJoin) Close() error {
+	h.table = nil
+	return h.left.Close()
+}
+
+// nlJoin is a nested-loops join with the right side materialized.
+type nlJoin struct {
+	left, right Iterator
+	pred        func(types.Row, *Context) (bool, error)
+	ctx         *Context
+	outerJoin   bool
+	rightArity  int
+
+	rightRows []types.Row
+	cur       types.Row
+	rpos      int
+	matched   bool
+}
+
+func (n *nlJoin) Open() error {
+	rows, err := Drain(n.right)
+	if err != nil {
+		return err
+	}
+	n.rightRows = rows
+	n.cur, n.rpos = nil, 0
+	return n.left.Open()
+}
+
+func (n *nlJoin) Next() (types.Row, bool, error) {
+	for {
+		if n.cur == nil {
+			r, ok, err := n.left.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			n.cur, n.rpos, n.matched = r, 0, false
+		}
+		for n.rpos < len(n.rightRows) {
+			rr := n.rightRows[n.rpos]
+			n.rpos++
+			out := n.cur.Concat(rr)
+			pass, err := n.pred(out, n.ctx)
+			if err != nil {
+				return nil, false, err
+			}
+			if pass {
+				n.matched = true
+				return out, true, nil
+			}
+		}
+		if n.outerJoin && !n.matched {
+			out := n.cur.Concat(make(types.Row, n.rightArity))
+			n.cur = nil
+			return out, true, nil
+		}
+		n.cur = nil
+	}
+}
+
+func (n *nlJoin) Close() error {
+	n.rightRows = nil
+	return n.left.Close()
+}

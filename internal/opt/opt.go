@@ -1,0 +1,131 @@
+// Package opt is the engine's Volcano-style rule-based optimizer. It
+// normalizes plans into the annotated-join-tree form §4 assumes,
+// applies the paper's always-beneficial GApply rules to a fixpoint,
+// decides the cost-based rules (group selection, invariant grouping)
+// with the §4.4 cost model, and finally picks physical strategies
+// (GApply partitioning, join methods).
+//
+// Termination follows the paper's argument: every rule either pushes
+// GApply down, eliminates it, or adds selections/projections to the
+// outer tree — none of which any other rule reverses — so successive
+// firing terminates; a generous iteration bound guards programming
+// errors.
+package opt
+
+import (
+	"gapplydb/internal/core"
+	"gapplydb/internal/rules"
+	"gapplydb/internal/stats"
+	"gapplydb/internal/storage"
+)
+
+// Options controls optimization, primarily for the experiment harness:
+// the Table 1 benchmarks disable or force individual rules to measure
+// their effect.
+type Options struct {
+	// DisableRules names rules that must not run.
+	DisableRules map[string]bool
+	// ForceRules names cost-based rules that fire regardless of cost.
+	ForceRules map[string]bool
+	// Partition overrides the GApply partitioning strategy; Auto lets
+	// the cost model choose.
+	Partition core.PartitionHint
+	// SkipOptimization returns the bound plan untouched except for
+	// physical hints — the "no optimizer" baseline.
+	SkipOptimization bool
+}
+
+// Optimizer rewrites logical plans.
+type Optimizer struct {
+	cat *storage.Catalog
+	est *stats.Estimator
+}
+
+// New builds an optimizer over a catalog with collected statistics.
+func New(cat *storage.Catalog, st *stats.Stats) *Optimizer {
+	return &Optimizer{cat: cat, est: stats.NewEstimator(st)}
+}
+
+// maxPasses bounds rule iteration; real plans converge in 2-3 passes.
+const maxPasses = 12
+
+// Optimize rewrites the plan under the given options.
+func (o *Optimizer) Optimize(plan core.Node, opts Options) core.Node {
+	if opts.SkipOptimization {
+		return o.physical(plan, opts)
+	}
+	ctx := &rules.Context{Catalog: o.cat}
+	enabled := func(r rules.Rule) bool { return !opts.DisableRules[r.Name()] }
+	costBased := rules.CostBasedNames()
+
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		for _, r := range rules.All() {
+			if !enabled(r) {
+				continue
+			}
+			candidate, fired := r.Apply(plan, ctx)
+			if !fired {
+				continue
+			}
+			if costBased[r.Name()] && !opts.ForceRules[r.Name()] {
+				// Keep the rewrite only when the cost model prefers it.
+				if o.est.Estimate(candidate).Cost >= o.est.Estimate(plan).Cost {
+					continue
+				}
+			}
+			plan = candidate
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	return o.physical(plan, opts)
+}
+
+// physical assigns physical strategies: the GApply partitioning (hash vs
+// sort, §3's two Partition-phase implementations) and join methods.
+func (o *Optimizer) physical(plan core.Node, opts Options) core.Node {
+	return core.Transform(plan, func(n core.Node) core.Node {
+		switch x := n.(type) {
+		case *core.GApply:
+			if x.Partition != core.PartitionAuto {
+				return n
+			}
+			hint := opts.Partition
+			if hint == core.PartitionAuto {
+				hash := *x
+				hash.Partition = core.PartitionHash
+				srt := *x
+				srt.Partition = core.PartitionSort
+				if o.est.Estimate(&srt).Cost < o.est.Estimate(&hash).Cost {
+					hint = core.PartitionSort
+				} else {
+					hint = core.PartitionHash
+				}
+			}
+			cp := *x
+			cp.Partition = hint
+			return &cp
+		case *core.Join:
+			if x.Method != core.JoinAuto {
+				return n
+			}
+			cp := *x
+			if len(x.EquiPairs()) > 0 {
+				cp.Method = core.JoinHash
+			} else {
+				cp.Method = core.JoinNestedLoops
+			}
+			return &cp
+		default:
+			return n
+		}
+	})
+}
+
+// Estimate exposes the cost model for EXPLAIN and the harness.
+func (o *Optimizer) Estimate(plan core.Node) stats.Estimate {
+	return o.est.Estimate(plan)
+}

@@ -1,0 +1,258 @@
+package opt
+
+import (
+	"testing"
+
+	"gapplydb/internal/bind"
+	"gapplydb/internal/core"
+	"gapplydb/internal/exec"
+	"gapplydb/internal/rules"
+	"gapplydb/internal/sql"
+	"gapplydb/internal/stats"
+	"gapplydb/internal/storage"
+	"gapplydb/internal/tpch"
+	"gapplydb/internal/types"
+)
+
+func setup(t *testing.T) (*storage.Catalog, *Optimizer) {
+	t.Helper()
+	cat := storage.NewCatalog()
+	if err := tpch.Load(cat, 0.002); err != nil {
+		t.Fatal(err)
+	}
+	return cat, New(cat, stats.Collect(cat))
+}
+
+func bindQ(t *testing.T, cat *storage.Catalog, q string) core.Node {
+	t.Helper()
+	stmt, _, err := sql.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := bind.New(cat).Bind(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func runP(t *testing.T, cat *storage.Catalog, plan core.Node) []types.Row {
+	t.Helper()
+	res, err := exec.Run(plan, exec.NewContext(cat))
+	if err != nil {
+		t.Fatalf("exec: %v\n%s", err, core.Format(plan))
+	}
+	return res.Rows
+}
+
+func sameMultiset(a, b []types.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := map[string]int{}
+	for _, r := range a {
+		m[r.KeyAll()]++
+	}
+	for _, r := range b {
+		if m[r.KeyAll()]--; m[r.KeyAll()] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+const q1 = `
+	select gapply(select p_name, p_retailprice, null from g
+	              union all
+	              select null, null, avg(p_retailprice) from g) as (name, price, ap)
+	from partsupp, part where ps_partkey = p_partkey
+	group by ps_suppkey : g`
+
+const coveringRangeQ = `
+	select gapply(select p_name, p_retailprice from g where p_brand = 'Brand#11')
+	from partsupp, part where ps_partkey = p_partkey
+	group by ps_suppkey : g`
+
+func TestOptimizePreservesSemantics(t *testing.T) {
+	cat, o := setup(t)
+	for _, q := range []string{q1, coveringRangeQ} {
+		plan := bindQ(t, cat, q)
+		want := runP(t, cat, plan)
+		got := runP(t, cat, o.Optimize(plan, Options{}))
+		if !sameMultiset(want, got) {
+			t.Errorf("optimization changed results for:\n%s", q)
+		}
+	}
+}
+
+func TestOptimizeAppliesProjectionPruning(t *testing.T) {
+	cat, o := setup(t)
+	plan := o.Optimize(bindQ(t, cat, q1), Options{})
+	var ga *core.GApply
+	core.Walk(plan, func(n core.Node) {
+		if g, ok := n.(*core.GApply); ok {
+			ga = g
+		}
+	})
+	if ga == nil {
+		t.Fatalf("GApply missing:\n%s", core.Format(plan))
+	}
+	// The outer must be pruned: the join yields 9 columns, Q1 needs 3
+	// (ps_suppkey, p_name, p_retailprice).
+	if got := ga.Outer.Schema().Len(); got != 3 {
+		t.Errorf("outer columns = %d, want 3\n%s", got, core.Format(plan))
+	}
+	// Physical hints are assigned.
+	if ga.Partition == core.PartitionAuto {
+		t.Error("partition strategy not chosen")
+	}
+}
+
+func TestOptimizeAppliesCoveringRange(t *testing.T) {
+	cat, o := setup(t)
+	plan := o.Optimize(bindQ(t, cat, coveringRangeQ), Options{})
+	// The brand selection must now sit in the outer tree (below GApply),
+	// pushed down toward the part scan.
+	var ga *core.GApply
+	core.Walk(plan, func(n core.Node) {
+		if g, ok := n.(*core.GApply); ok {
+			ga = g
+		}
+	})
+	if ga == nil {
+		t.Fatalf("no GApply:\n%s", core.Format(plan))
+	}
+	found := 0
+	core.Walk(ga.Outer, func(n core.Node) {
+		if s, ok := n.(*core.Select); ok {
+			for range core.ConjunctsOf(s.Cond) {
+				found++
+			}
+		}
+	})
+	if found == 0 {
+		t.Errorf("covering range not in outer tree:\n%s", core.Format(plan))
+	}
+	// And the per-group selection is gone.
+	innerSelects := 0
+	core.Walk(ga.Inner, func(n core.Node) {
+		if _, ok := n.(*core.Select); ok {
+			innerSelects++
+		}
+	})
+	if innerSelects != 0 {
+		t.Errorf("per-group selection survived:\n%s", core.Format(plan))
+	}
+}
+
+func TestDisableRules(t *testing.T) {
+	cat, o := setup(t)
+	plan := o.Optimize(bindQ(t, cat, q1), Options{
+		DisableRules: map[string]bool{rules.ProjectionBeforeGApply{}.Name(): true},
+	})
+	var ga *core.GApply
+	core.Walk(plan, func(n core.Node) {
+		if g, ok := n.(*core.GApply); ok {
+			ga = g
+		}
+	})
+	if ga.Outer.Schema().Len() == 3 {
+		t.Error("disabled rule still fired")
+	}
+}
+
+func TestForceRules(t *testing.T) {
+	cat, o := setup(t)
+	q := `select gapply(select * from g where exists
+			(select p_partkey from g where p_retailprice > 2090))
+		from partsupp, part where ps_partkey = p_partkey
+		group by ps_suppkey : g`
+	plan := bindQ(t, cat, q)
+	forced := o.Optimize(plan, Options{ForceRules: map[string]bool{
+		rules.GroupSelectionExists{}.Name(): true,
+	}})
+	gapplies := 0
+	core.Walk(forced, func(n core.Node) {
+		if _, ok := n.(*core.GApply); ok {
+			gapplies++
+		}
+	})
+	if gapplies != 0 {
+		t.Errorf("forced group selection kept GApply:\n%s", core.Format(forced))
+	}
+	// Semantics hold either way.
+	if !sameMultiset(runP(t, cat, bindQ(t, cat, q)), runP(t, cat, forced)) {
+		t.Error("forced rewrite changed results")
+	}
+}
+
+func TestPartitionOverride(t *testing.T) {
+	cat, o := setup(t)
+	plan := o.Optimize(bindQ(t, cat, q1), Options{Partition: core.PartitionSort})
+	core.Walk(plan, func(n core.Node) {
+		if ga, ok := n.(*core.GApply); ok && ga.Partition != core.PartitionSort {
+			t.Errorf("partition override ignored: %v", ga.Partition)
+		}
+	})
+}
+
+func TestSkipOptimization(t *testing.T) {
+	cat, o := setup(t)
+	bound := bindQ(t, cat, q1)
+	plan := o.Optimize(bound, Options{SkipOptimization: true})
+	// Logical shape untouched: the outer is still the raw Select(Join).
+	var ga *core.GApply
+	core.Walk(plan, func(n core.Node) {
+		if g, ok := n.(*core.GApply); ok {
+			ga = g
+		}
+	})
+	if _, ok := ga.Outer.(*core.Select); !ok {
+		t.Errorf("skip-optimization rewrote the plan:\n%s", core.Format(plan))
+	}
+	// But physical hints are chosen.
+	if ga.Partition == core.PartitionAuto {
+		t.Error("physical pass skipped")
+	}
+}
+
+func TestOptimizeDecorrelatesBaseline(t *testing.T) {
+	cat, o := setup(t)
+	q := `select ps1.ps_suppkey, count(*) from partsupp ps1, part
+		where p_partkey = ps_partkey and p_retailprice >=
+			(select avg(p_retailprice) from partsupp, part
+			 where p_partkey = ps_partkey and ps_suppkey = ps1.ps_suppkey)
+		group by ps1.ps_suppkey`
+	plan := o.Optimize(bindQ(t, cat, q), Options{})
+	applies := 0
+	core.Walk(plan, func(n core.Node) {
+		if _, ok := n.(*core.Apply); ok {
+			applies++
+		}
+	})
+	if applies != 0 {
+		t.Errorf("baseline not decorrelated:\n%s", core.Format(plan))
+	}
+	// Compare against a pushed-down but still-correlated plan (executing
+	// the raw bound plan would re-run the inner per cross-product row).
+	correlated := o.Optimize(bindQ(t, cat, q), Options{
+		DisableRules: map[string]bool{rules.Decorrelate{}.Name(): true},
+	})
+	if !sameMultiset(runP(t, cat, correlated), runP(t, cat, plan)) {
+		t.Error("decorrelated baseline changed results")
+	}
+	// Cost model should prefer the decorrelated plan.
+	if o.Estimate(plan).Cost >= o.Estimate(correlated).Cost {
+		t.Error("decorrelated plan should cost less than correlated apply")
+	}
+}
+
+func TestJoinMethodsAssigned(t *testing.T) {
+	cat, o := setup(t)
+	plan := o.Optimize(bindQ(t, cat, "select p_name from partsupp, part where ps_partkey = p_partkey"), Options{})
+	core.Walk(plan, func(n core.Node) {
+		if j, ok := n.(*core.Join); ok && j.Method == core.JoinAuto {
+			t.Error("join method not assigned")
+		}
+	})
+}

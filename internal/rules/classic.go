@@ -1,0 +1,154 @@
+package rules
+
+import (
+	"gapplydb/internal/core"
+)
+
+// PushDownSelections is the classic substrate rule: conjuncts of a
+// Select above a Join move to the join side that can evaluate them, or
+// into the join condition when they span both sides. The paper's §4
+// assumes "all selections and projections in the outer query are pushed
+// down" (the annotated join tree of [15]); this rule establishes that
+// normal form, and re-establishes it after SelectionBeforeGApply inserts
+// a covering-range selection on top of the outer query.
+type PushDownSelections struct{}
+
+// Name implements Rule.
+func (PushDownSelections) Name() string { return "push-down-selections" }
+
+// Apply implements Rule.
+func (PushDownSelections) Apply(n core.Node, _ *Context) (core.Node, bool) {
+	fired := false
+	// Iterate to a fixpoint: pushing a selection below one join may
+	// enable pushing below the next.
+	for {
+		changed := false
+		n = core.Transform(n, func(m core.Node) core.Node {
+			sel, ok := m.(*core.Select)
+			if !ok {
+				return m
+			}
+			// Merge stacked selections so conjuncts push together.
+			if inner, ok := sel.Input.(*core.Select); ok {
+				changed = true
+				return &core.Select{
+					Input: inner.Input,
+					Cond:  core.AndAll(append(core.ConjunctsOf(sel.Cond), core.ConjunctsOf(inner.Cond)...)),
+				}
+			}
+			// Select over a pure, unaliased column projection commutes
+			// below it (the projection-before-GApply rule inserts these
+			// on the paths group selection later filters).
+			if proj, ok := sel.Input.(*core.Project); ok && pureUnaliasedProject(proj) {
+				if exprResolves(sel.Cond, proj.Input.Schema()) && !core.HasOuterRefs(sel.Cond) {
+					changed = true
+					return proj.WithChildren([]core.Node{&core.Select{Input: proj.Input, Cond: sel.Cond}})
+				}
+				return m
+			}
+			// Select over Apply: conjuncts over only the apply's outer
+			// columns commute below it. This establishes the paper's
+			// Figure 3 tree shape, where σ_{brand=A} sits on the apply's
+			// outer input so the covering-range analysis can see it.
+			if ap, ok := sel.Input.(*core.Apply); ok {
+				outerSchema := ap.Outer.Schema()
+				var down, keep []core.Expr
+				for _, c := range core.ConjunctsOf(sel.Cond) {
+					if !core.HasOuterRefs(c) && exprResolves(c, outerSchema) {
+						down = append(down, c)
+					} else {
+						keep = append(keep, c)
+					}
+				}
+				if len(down) == 0 {
+					return m
+				}
+				changed = true
+				var out core.Node = &core.Apply{
+					Outer: &core.Select{Input: ap.Outer, Cond: core.AndAll(down)},
+					Inner: ap.Inner,
+					Kind:  ap.Kind,
+				}
+				if len(keep) > 0 {
+					out = &core.Select{Input: out, Cond: core.AndAll(keep)}
+				}
+				return out
+			}
+			join, ok := sel.Input.(*core.Join)
+			if !ok || join.Kind != core.InnerJoin {
+				return m
+			}
+			ls, rs := join.Left.Schema(), join.Right.Schema()
+			var toLeft, toRight, toJoin, keep []core.Expr
+			for _, c := range core.ConjunctsOf(sel.Cond) {
+				switch {
+				case core.HasOuterRefs(c):
+					// Correlated conjuncts must stay put for the
+					// decorrelation rule to see them next to the rest.
+					keep = append(keep, c)
+				case exprResolves(c, ls):
+					toLeft = append(toLeft, c)
+				case exprResolves(c, rs):
+					toRight = append(toRight, c)
+				case exprResolves(c, join.Schema()):
+					toJoin = append(toJoin, c)
+				default:
+					keep = append(keep, c)
+				}
+			}
+			if len(toLeft) == 0 && len(toRight) == 0 && len(toJoin) == 0 {
+				return m
+			}
+			changed = true
+			left, right := join.Left, join.Right
+			if len(toLeft) > 0 {
+				left = &core.Select{Input: left, Cond: core.AndAll(toLeft)}
+			}
+			if len(toRight) > 0 {
+				right = &core.Select{Input: right, Cond: core.AndAll(toRight)}
+			}
+			cond := join.Cond
+			if len(toJoin) > 0 {
+				cond = core.AndAll(append(core.ConjunctsOf(cond), toJoin...))
+			}
+			var out core.Node = &core.Join{Left: left, Right: right, Kind: join.Kind, Cond: cond, Method: join.Method}
+			if len(keep) > 0 {
+				out = &core.Select{Input: out, Cond: core.AndAll(keep)}
+			}
+			return out
+		})
+		if !changed {
+			break
+		}
+		fired = true
+	}
+	return n, fired
+}
+
+// pureUnaliasedProject reports whether the projection only selects
+// columns under their original names, so predicates commute through it.
+func pureUnaliasedProject(p *core.Project) bool {
+	if p.Qualifier != "" {
+		return false
+	}
+	for i, e := range p.Exprs {
+		if _, ok := e.(*core.ColRef); !ok {
+			return false
+		}
+		if i < len(p.Names) && p.Names[i] != "" {
+			return false
+		}
+	}
+	return true
+}
+
+// exprResolves reports whether every column the expression references is
+// available in the schema.
+func exprResolves(e core.Expr, sch interface{ Has(string, string) bool }) bool {
+	for _, c := range core.ColRefsIn(e) {
+		if !sch.Has(c.Table, c.Name) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,347 @@
+package rules
+
+import (
+	"strings"
+
+	"gapplydb/internal/analyze"
+	"gapplydb/internal/core"
+)
+
+// PushSelectIntoGApply implements the no-traversal rule
+//
+//	σ(RE1 GA_C RE2) = RE1 GA_C σ(RE2)   if σ involves only RE2's columns
+//
+// plus the groupby-style analogue: a conjunct over only the grouping
+// columns filters whole groups and moves into the outer query.
+type PushSelectIntoGApply struct{}
+
+// Name implements Rule.
+func (PushSelectIntoGApply) Name() string { return "push-select-into-gapply" }
+
+// Apply implements Rule.
+func (PushSelectIntoGApply) Apply(n core.Node, _ *Context) (core.Node, bool) {
+	fired := false
+	out := core.Transform(n, func(m core.Node) core.Node {
+		sel, ok := m.(*core.Select)
+		if !ok {
+			return m
+		}
+		ga, ok := sel.Input.(*core.GApply)
+		if !ok {
+			return m
+		}
+		innerSchema := ga.Inner.Schema()
+		groupSchema := groupColsSchema(ga)
+		var toInner, toOuter, keep []core.Expr
+		for _, c := range core.ConjunctsOf(sel.Cond) {
+			switch {
+			case core.HasOuterRefs(c):
+				keep = append(keep, c)
+			case exprResolves(c, innerSchema) && !exprResolves(c, groupSchema):
+				toInner = append(toInner, c)
+			case exprResolves(c, groupSchema):
+				toOuter = append(toOuter, c)
+			default:
+				keep = append(keep, c)
+			}
+		}
+		if len(toInner) == 0 && len(toOuter) == 0 {
+			return m
+		}
+		fired = true
+		outer := ga.Outer
+		if len(toOuter) > 0 {
+			outer = &core.Select{Input: outer, Cond: core.AndAll(toOuter)}
+		}
+		inner := ga.Inner
+		if len(toInner) > 0 {
+			inner = &core.Select{Input: inner, Cond: core.AndAll(toInner)}
+		}
+		var out core.Node = &core.GApply{
+			Outer: outer, GroupCols: ga.GroupCols, GroupVar: ga.GroupVar,
+			Inner: inner, Partition: ga.Partition,
+		}
+		if len(keep) > 0 {
+			out = &core.Select{Input: out, Cond: core.AndAll(keep)}
+		}
+		return out
+	})
+	return out, fired
+}
+
+// groupColsSchema builds the schema slice holding just the grouping
+// columns (the first columns of the GApply output).
+func groupColsSchema(ga *core.GApply) interface{ Has(string, string) bool } {
+	full := ga.Schema()
+	return full.Project(intRange(len(ga.GroupCols)))
+}
+
+func intRange(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// PushProjectIntoGApply implements the no-traversal rule
+//
+//	π_{C∪B}(RE1 GA_C RE2) = RE1 GA_C π_B(RE2)
+//
+// It fires when the projection is a pure column list consisting of all
+// grouping columns (in order) followed by a subset of the per-group
+// query's output columns.
+type PushProjectIntoGApply struct{}
+
+// Name implements Rule.
+func (PushProjectIntoGApply) Name() string { return "push-project-into-gapply" }
+
+// Apply implements Rule.
+func (PushProjectIntoGApply) Apply(n core.Node, _ *Context) (core.Node, bool) {
+	fired := false
+	out := core.Transform(n, func(m core.Node) core.Node {
+		proj, ok := m.(*core.Project)
+		if !ok || proj.Qualifier != "" {
+			return m
+		}
+		ga, ok := proj.Input.(*core.GApply)
+		if !ok {
+			return m
+		}
+		// All expressions must be plain unaliased columns.
+		cols := make([]*core.ColRef, len(proj.Exprs))
+		for i, e := range proj.Exprs {
+			c, ok := e.(*core.ColRef)
+			if !ok {
+				return m
+			}
+			if i < len(proj.Names) && proj.Names[i] != "" {
+				return m
+			}
+			cols[i] = c
+		}
+		if len(cols) < len(ga.GroupCols) {
+			return m
+		}
+		// Prefix must be exactly the grouping columns, in order.
+		for i, gc := range ga.GroupCols {
+			if !strings.EqualFold(cols[i].Name, gc.Name) ||
+				(cols[i].Table != "" && gc.Table != "" && !strings.EqualFold(cols[i].Table, gc.Table)) {
+				return m
+			}
+		}
+		// Remaining columns must come from the per-group query's output
+		// (and not also be grouping columns, to avoid ambiguity).
+		innerSchema := ga.Inner.Schema()
+		rest := cols[len(ga.GroupCols):]
+		if len(rest) == innerSchema.Len() {
+			return m // projection is the identity; nothing to push
+		}
+		for _, c := range rest {
+			if !innerSchema.Has(c.Table, c.Name) {
+				return m
+			}
+		}
+		fired = true
+		inner := core.ProjectCols(ga.Inner, rest)
+		return &core.GApply{
+			Outer: ga.Outer, GroupCols: ga.GroupCols, GroupVar: ga.GroupVar,
+			Inner: inner, Partition: ga.Partition,
+		}
+	})
+	return out, fired
+}
+
+// SelectionBeforeGApply implements §4.1's "Placing Selections Before
+// GApply" (Theorem 1): when the per-group query produces an empty result
+// on an empty group (PGQ(φ) = φ), the covering range of its root can be
+// applied to the outer query, and any per-group selection logically
+// equivalent to it can be eliminated.
+type SelectionBeforeGApply struct{}
+
+// Name implements Rule.
+func (SelectionBeforeGApply) Name() string { return "selection-before-gapply" }
+
+// Apply implements Rule.
+func (SelectionBeforeGApply) Apply(n core.Node, _ *Context) (core.Node, bool) {
+	return rewriteGApplies(n, func(ga *core.GApply) (core.Node, bool) {
+		outerSchema := ga.Outer.Schema()
+		cr := analyze.CoveringRange(ga.Inner, outerSchema)
+		if cr == nil {
+			return nil, false // covering range is the whole group
+		}
+		if !analyze.EmptyOnEmpty(ga.Inner) {
+			return nil, false // PGQ(φ) ≠ φ: count(*)-style aggregates
+		}
+		// Idempotence: skip when every covering-range conjunct already
+		// appears as a selection conjunct somewhere in the outer tree —
+		// classic pushdown relocates the inserted selection, and firing
+		// again would stack duplicates forever.
+		if allConjunctsPresent(cr, ga.Outer) {
+			return nil, false
+		}
+		outer := &core.Select{Input: ga.Outer, Cond: cr}
+		// Eliminate per-group selections logically equivalent to the
+		// pushed range (only those whose condition equals the whole
+		// range; partial overlaps stay for correctness).
+		inner := core.Transform(ga.Inner, func(m core.Node) core.Node {
+			if sel, ok := m.(*core.Select); ok && core.ExprEqual(sel.Cond, cr) {
+				if !hasAggBetween(ga.Inner, sel) {
+					return sel.Input
+				}
+			}
+			return m
+		})
+		return withPartition(core.NewGApply(outer, ga.GroupCols, ga.GroupVar, inner), ga.Partition), true
+	})
+}
+
+// allConjunctsPresent reports whether each conjunct of cond appears
+// (structurally) as a selection or join conjunct somewhere in the tree.
+func allConjunctsPresent(cond core.Expr, tree core.Node) bool {
+	var present []core.Expr
+	core.Walk(tree, func(m core.Node) {
+		switch x := m.(type) {
+		case *core.Select:
+			present = append(present, core.ConjunctsOf(x.Cond)...)
+		case *core.Join:
+			present = append(present, core.ConjunctsOf(x.Cond)...)
+		}
+	})
+	for _, want := range core.ConjunctsOf(cond) {
+		found := false
+		for _, have := range present {
+			if core.ExprEqual(want, have) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// hasAggBetween conservatively reports whether removing sel could change
+// results because an aggregate/apply sits below it (its condition then
+// filters computed rows, not raw group rows; such selects never have a
+// covering-range-equal condition in well-formed trees, but check anyway).
+func hasAggBetween(root core.Node, sel *core.Select) bool {
+	blocked := false
+	core.Walk(sel.Input, func(m core.Node) {
+		switch m.(type) {
+		case *core.AggOp, *core.GroupBy, *core.Apply:
+			blocked = true
+		}
+	})
+	return blocked
+}
+
+// withPartition keeps the physical hint across a rebuild.
+func withPartition(g *core.GApply, p core.PartitionHint) *core.GApply {
+	g.Partition = p
+	return g
+}
+
+// ProjectionBeforeGApply implements §4.1's "Placing Projections Before
+// GApply": only the grouping columns and the columns referenced by the
+// per-group query need to flow into the partition phase. Because the
+// syntax binds *all* columns of the outer query to the group variable,
+// this pruning can shrink the partitioned data substantially.
+type ProjectionBeforeGApply struct{}
+
+// Name implements Rule.
+func (ProjectionBeforeGApply) Name() string { return "projection-before-gapply" }
+
+// Apply implements Rule.
+func (ProjectionBeforeGApply) Apply(n core.Node, _ *Context) (core.Node, bool) {
+	return rewriteGApplies(n, func(ga *core.GApply) (core.Node, bool) {
+		outerSchema := ga.Outer.Schema()
+		needed := append([]*core.ColRef{}, ga.GroupCols...)
+		needed = append(needed, analyze.ReferencedGroupColumns(ga.Inner, outerSchema)...)
+		needed = core.DedupCols(needed)
+		if len(needed) >= outerSchema.Len() {
+			return nil, false // nothing to prune
+		}
+		outer := core.ProjectCols(ga.Outer, needed)
+		return withPartition(core.NewGApply(outer, ga.GroupCols, ga.GroupVar, ga.Inner), ga.Partition), true
+	})
+}
+
+// GApplyToGroupBy implements §4.1's "Converting GApply to groupby": a
+// per-group query that only computes aggregates over the group becomes a
+// traditional (streaming, non-blocking per group) groupby; one that
+// groups the group by columns B becomes a groupby on C ∪ B.
+type GApplyToGroupBy struct{}
+
+// Name implements Rule.
+func (GApplyToGroupBy) Name() string { return "gapply-to-groupby" }
+
+// Apply implements Rule.
+func (GApplyToGroupBy) Apply(n core.Node, _ *Context) (core.Node, bool) {
+	return rewriteGApplies(n, func(ga *core.GApply) (core.Node, bool) {
+		// Peel an optional top-level projection of the per-group query.
+		inner := ga.Inner
+		var topProj *core.Project
+		if p, ok := inner.(*core.Project); ok {
+			inner = p.Input
+			topProj = p
+		}
+		switch x := inner.(type) {
+		case *core.AggOp:
+			if _, ok := x.Input.(*core.GroupScan); !ok {
+				return nil, false
+			}
+			gb := &core.GroupBy{Input: ga.Outer, GroupCols: ga.GroupCols, Aggs: x.Aggs}
+			return rebuildAbove(gb, ga, topProj), true
+		case *core.GroupBy:
+			if _, ok := x.Input.(*core.GroupScan); !ok {
+				return nil, false
+			}
+			cols := append(append([]*core.ColRef{}, ga.GroupCols...), x.GroupCols...)
+			gb := &core.GroupBy{Input: ga.Outer, GroupCols: core.DedupCols(cols), Aggs: x.Aggs}
+			return rebuildAbove(gb, ga, topProj), true
+		default:
+			return nil, false
+		}
+	})
+}
+
+// rebuildAbove re-creates the GApply output shape (grouping values
+// crossed with per-group results) on top of the replacement groupby.
+func rebuildAbove(gb *core.GroupBy, ga *core.GApply, topProj *core.Project) core.Node {
+	if topProj == nil && sameCols(gb.GroupCols, ga.GroupCols) {
+		return gb
+	}
+	exprs := make([]core.Expr, 0, len(ga.GroupCols)+4)
+	names := make([]string, 0, len(ga.GroupCols)+4)
+	for _, c := range ga.GroupCols {
+		exprs = append(exprs, c)
+		names = append(names, "")
+	}
+	if topProj != nil {
+		exprs = append(exprs, topProj.Exprs...)
+		names = append(names, topProj.Names...)
+	} else {
+		// Expose the per-group query's own output columns.
+		innerSchema := ga.Inner.Schema()
+		for _, c := range innerSchema.Cols {
+			exprs = append(exprs, &core.ColRef{Table: c.Table, Name: c.Name})
+			names = append(names, "")
+		}
+	}
+	return core.NewProject(gb, exprs, names)
+}
+
+func sameCols(a, b []*core.ColRef) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !strings.EqualFold(a[i].Name, b[i].Name) || !strings.EqualFold(a[i].Table, b[i].Table) {
+			return false
+		}
+	}
+	return true
+}

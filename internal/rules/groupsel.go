@@ -1,0 +1,240 @@
+package rules
+
+import (
+	"strings"
+
+	"gapplydb/internal/core"
+)
+
+// GroupSelectionExists implements §4.2's rule (Figure 5): a per-group
+// query of the form "return the whole group if some tuple satisfies S"
+// is re-evaluated as: filter the outer query with S, project the group
+// ids (distinct), and join the ids back with the outer query to
+// reconstruct the qualifying groups.
+//
+// When the predicate is selective, extracting ids first avoids
+// materializing every group; when it is not, the extra join can lose —
+// which is why the optimizer decides this rule by cost (Table 1's
+// average-over-wins exceeds its average).
+//
+// Groups whose grouping-column values contain NULL cannot be
+// reconstructed by the equijoin, so the rule skips firing when any
+// grouping column is nullable-in-principle is not tracked; in this
+// engine grouping columns are key columns in every workload, matching
+// the paper's setting.
+type GroupSelectionExists struct{}
+
+// Name implements Rule.
+func (GroupSelectionExists) Name() string { return "group-selection-exists" }
+
+// Apply implements Rule.
+func (GroupSelectionExists) Apply(n core.Node, _ *Context) (core.Node, bool) {
+	return rewriteGApplies(n, func(ga *core.GApply) (core.Node, bool) {
+		topProj, apply := peelProject(ga.Inner)
+		ap, ok := apply.(*core.Apply)
+		if !ok || ap.Kind != core.CrossApply {
+			return nil, false
+		}
+		if _, ok := ap.Outer.(*core.GroupScan); !ok {
+			return nil, false
+		}
+		ex, ok := ap.Inner.(*core.Exists)
+		if !ok || ex.Negated {
+			return nil, false
+		}
+		cond, ok := extractSelectionChain(ex.Input, ga.Outer.Schema())
+		if !ok || cond == nil {
+			return nil, false
+		}
+		return rebuildGroupSelection(ga, topProj, &core.Select{Input: ga.Outer, Cond: cond})
+	})
+}
+
+// GroupSelectionAggregate implements §4.2's aggregate variant: a
+// per-group query of the form "return the group if agg(group) satisfies
+// a condition" is re-evaluated by computing the aggregates with a
+// (pipelinable, low-memory) groupby, filtering the group ids, and
+// joining them back to reconstruct the groups.
+type GroupSelectionAggregate struct{}
+
+// Name implements Rule.
+func (GroupSelectionAggregate) Name() string { return "group-selection-aggregate" }
+
+// Apply implements Rule.
+func (GroupSelectionAggregate) Apply(n core.Node, _ *Context) (core.Node, bool) {
+	return rewriteGApplies(n, func(ga *core.GApply) (core.Node, bool) {
+		topProj, selNode := peelProject(ga.Inner)
+		sel, ok := selNode.(*core.Select)
+		if !ok {
+			return nil, false
+		}
+		ap, ok := sel.Input.(*core.Apply)
+		if !ok || ap.Kind != core.CrossApply {
+			return nil, false
+		}
+		if _, ok := ap.Outer.(*core.GroupScan); !ok {
+			return nil, false
+		}
+		// The inner must be a (renamed) scalar aggregate over the group,
+		// optionally over a selection of it.
+		rename, ok := ap.Inner.(*core.Project)
+		if !ok || len(rename.Exprs) != 1 {
+			return nil, false
+		}
+		sqName := rename.Names[0]
+		if sqName == "" {
+			if c, ok := rename.Exprs[0].(*core.ColRef); ok {
+				sqName = c.Name
+			}
+		}
+		agg, ok := rename.Input.(*core.AggOp)
+		if !ok || len(agg.Aggs) != 1 {
+			return nil, false
+		}
+		aggInputCond, okChain := aggOverGroup(agg.Input, ga.Outer.Schema())
+		if !okChain {
+			return nil, false
+		}
+		if aggInputCond != nil && strings.EqualFold(agg.Aggs[0].Fn, "count") {
+			// count over a filtered group is 0, not NULL, on an empty
+			// subset; the groupby version would drop the group instead.
+			return nil, false
+		}
+		// The selection condition references the aggregate's renamed
+		// output; rewrite it to the groupby's column name.
+		cond := sel.Cond.Rewrite(func(e core.Expr) core.Expr {
+			if c, ok := e.(*core.ColRef); ok && strings.EqualFold(c.Name, sqName) && c.Table == "" {
+				return &core.ColRef{Name: agg.Aggs[0].OutName()}
+			}
+			return e
+		})
+		gbInput := ga.Outer
+		if aggInputCond != nil {
+			gbInput = &core.Select{Input: gbInput, Cond: aggInputCond}
+		}
+		gb := &core.GroupBy{Input: gbInput, GroupCols: ga.GroupCols, Aggs: agg.Aggs}
+		// The predicate must be group-level: after rewriting the subquery
+		// column to the aggregate output it may reference only grouping
+		// columns and the aggregate — a condition on group *rows* (e.g.
+		// "p_retailprice = min(...)") is row selection, not group
+		// selection, and stays with GApply.
+		if !exprResolves(cond, gb.Schema()) {
+			return nil, false
+		}
+		return rebuildGroupSelection(ga, topProj, &core.Select{Input: gb, Cond: cond})
+	})
+}
+
+// peelProject strips one top-level projection, returning it separately.
+func peelProject(n core.Node) (*core.Project, core.Node) {
+	if p, ok := n.(*core.Project); ok {
+		return p, p.Input
+	}
+	return nil, n
+}
+
+// extractSelectionChain matches a chain of Select/Project/Distinct/
+// OrderBy over a GroupScan and returns the conjunction of the selection
+// conditions. The conditions must be over the group's columns, without
+// outer references.
+func extractSelectionChain(n core.Node, groupSchema interface{ Has(string, string) bool }) (core.Expr, bool) {
+	var conds []core.Expr
+	for {
+		switch x := n.(type) {
+		case *core.GroupScan:
+			return core.AndAll(conds), true
+		case *core.Select:
+			if core.HasOuterRefs(x.Cond) || !exprResolves(x.Cond, groupSchema) {
+				return nil, false
+			}
+			conds = append(conds, core.ConjunctsOf(x.Cond)...)
+			n = x.Input
+		case *core.Project:
+			n = x.Input
+		case *core.Distinct:
+			n = x.Input
+		case *core.OrderBy:
+			n = x.Input
+		default:
+			return nil, false
+		}
+	}
+}
+
+// aggOverGroup matches the aggregate input: either the group itself or a
+// selection of it; returns the selection condition (nil when none).
+func aggOverGroup(n core.Node, groupSchema interface{ Has(string, string) bool }) (core.Expr, bool) {
+	switch x := n.(type) {
+	case *core.GroupScan:
+		return nil, true
+	case *core.Select:
+		if _, ok := x.Input.(*core.GroupScan); !ok {
+			return nil, false
+		}
+		if core.HasOuterRefs(x.Cond) || !exprResolves(x.Cond, groupSchema) {
+			return nil, false
+		}
+		return x.Cond, true
+	default:
+		return nil, false
+	}
+}
+
+// rebuildGroupSelection builds Figure 5's right-hand tree: distinct group
+// ids from the filtered source, joined back with the outer query, then
+// projected to the original GApply output shape.
+func rebuildGroupSelection(ga *core.GApply, topProj *core.Project, filtered core.Node) (core.Node, bool) {
+	outerSchema := ga.Outer.Schema()
+	// Qualify/alias the id columns so the reconstruction join condition
+	// resolves unambiguously.
+	idExprs := make([]core.Expr, len(ga.GroupCols))
+	idNames := make([]string, len(ga.GroupCols))
+	for i, gc := range ga.GroupCols {
+		if !outerSchema.Has(gc.Table, gc.Name) {
+			return nil, false
+		}
+		idExprs[i] = gc
+		idNames[i] = "__gid_" + gc.Name
+	}
+	idProj := core.NewProject(filtered, idExprs, idNames)
+	idProj.Qualifier = "__gsel"
+	ids := &core.Distinct{Input: idProj}
+
+	var joinCond []core.Expr
+	for i, gc := range ga.GroupCols {
+		joinCond = append(joinCond, &core.Cmp{
+			Op: "=",
+			L:  &core.ColRef{Table: "__gsel", Name: idNames[i]},
+			R:  gc,
+		})
+	}
+	// The id set goes on the build (right) side of the hash join: with a
+	// selective predicate it is tiny, and the outer query streams through
+	// as probes — the asymmetry that makes Figure 5's plan win.
+	join := &core.Join{Left: ga.Outer, Right: ids, Cond: core.AndAll(joinCond)}
+
+	// Restore the original output shape: grouping values first, then the
+	// per-group query's output (the group columns, through topProj if the
+	// query projected).
+	outExprs := make([]core.Expr, 0, len(ga.GroupCols)+outerSchema.Len())
+	outNames := make([]string, 0, len(ga.GroupCols)+outerSchema.Len())
+	for _, gc := range ga.GroupCols {
+		outExprs = append(outExprs, gc)
+		outNames = append(outNames, "")
+	}
+	if topProj != nil {
+		for _, e := range topProj.Exprs {
+			if !exprResolves(e, outerSchema) {
+				return nil, false
+			}
+		}
+		outExprs = append(outExprs, topProj.Exprs...)
+		outNames = append(outNames, topProj.Names...)
+	} else {
+		for _, c := range outerSchema.Cols {
+			outExprs = append(outExprs, &core.ColRef{Table: c.Table, Name: c.Name})
+			outNames = append(outNames, "")
+		}
+	}
+	return core.NewProject(join, outExprs, outNames), true
+}

@@ -1,0 +1,89 @@
+// Package rules implements the paper's transformation rules for plans
+// containing GApply (§4), plus the classic selection/projection pushdown
+// and subquery decorrelation substrate they compose with:
+//
+//   - PushSelectIntoGApply / PushProjectIntoGApply — the "no-traversal"
+//     rules σ(R GA PGQ) = R GA σ(PGQ) and π_{C∪B}(R GA PGQ) = R GA π_B(PGQ).
+//   - SelectionBeforeGApply — push the per-group query's covering range
+//     into the outer query when PGQ(φ) = φ (§4.1, Theorem 1).
+//   - ProjectionBeforeGApply — project the outer query to the grouping
+//     columns plus the columns PGQ references (§4.1).
+//   - GApplyToGroupBy — replace a pure-aggregation per-group query with a
+//     traditional groupby (§4.1).
+//   - GroupSelectionExists — evaluate an existential group-selection
+//     predicate first, then reconstruct qualifying groups by joining the
+//     group ids back (§4.2, Figure 5).
+//   - GroupSelectionAggregate — the aggregate-condition variant (§4.2).
+//   - InvariantGrouping — push GApply below foreign-key joins whose join
+//     columns are grouping columns (§4.3, Theorem 2).
+//   - PushDownSelections / Decorrelate — classic substrate rules.
+//
+// Every rule is a pure function from plan to plan; firing decisions
+// (always / cost-based / forced) belong to the optimizer.
+package rules
+
+import (
+	"gapplydb/internal/core"
+	"gapplydb/internal/storage"
+)
+
+// Context carries what rules need to fire: catalog metadata (foreign
+// keys for invariant grouping).
+type Context struct {
+	Catalog *storage.Catalog
+}
+
+// Rule is one transformation.
+type Rule interface {
+	// Name is the rule's identifier, used by the optimizer's enable/force
+	// sets and by the Table 1 benchmark harness.
+	Name() string
+	// Apply rewrites the plan, reporting whether anything changed. Rules
+	// never mutate the input tree.
+	Apply(n core.Node, ctx *Context) (core.Node, bool)
+}
+
+// rewriteGApplies walks the tree and rewrites each GApply node with f,
+// tracking whether any rewrite fired. Inner per-group trees are visited
+// too (a GApply cannot nest inside a PGQ by the paper's restrictions,
+// but defensive code is free).
+func rewriteGApplies(n core.Node, f func(*core.GApply) (core.Node, bool)) (core.Node, bool) {
+	fired := false
+	out := core.Transform(n, func(m core.Node) core.Node {
+		if ga, ok := m.(*core.GApply); ok {
+			if r, ok2 := f(ga); ok2 {
+				fired = true
+				return r
+			}
+		}
+		return m
+	})
+	return out, fired
+}
+
+// All returns the full rule set in the order the optimizer applies them.
+func All() []Rule {
+	return []Rule{
+		PushDownSelections{},
+		Decorrelate{},
+		PushSelectIntoGApply{},
+		PushProjectIntoGApply{},
+		SelectionBeforeGApply{},
+		ProjectionBeforeGApply{},
+		GApplyToGroupBy{},
+		GroupSelectionExists{},
+		GroupSelectionAggregate{},
+		InvariantGrouping{},
+	}
+}
+
+// CostBasedNames lists the rules whose firing can increase cost and so
+// are decided by the cost model (the Table 1 rows where "average over
+// wins" exceeds "average benefit").
+func CostBasedNames() map[string]bool {
+	return map[string]bool{
+		GroupSelectionExists{}.Name():    true,
+		GroupSelectionAggregate{}.Name(): true,
+		InvariantGrouping{}.Name():       true,
+	}
+}

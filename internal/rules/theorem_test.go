@@ -1,0 +1,212 @@
+package rules
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gapplydb/internal/core"
+	"gapplydb/internal/schema"
+	"gapplydb/internal/storage"
+	"gapplydb/internal/types"
+)
+
+// randomCatalog builds a randomized parts/suppliers catalog from a
+// seeded PRNG: nSupp suppliers, nPart parts with random prices/brands,
+// each part supplied by 1-3 random suppliers. Determinism per seed
+// keeps failures reproducible.
+func randomCatalog(t *testing.T, seed int64, nSupp, nPart int) *storage.Catalog {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cat := storage.NewCatalog()
+	sup, err := cat.Create(&schema.TableDef{
+		Name: "supplier",
+		Schema: schema.New(
+			schema.Column{Name: "s_suppkey", Type: types.KindInt},
+			schema.Column{Name: "s_name", Type: types.KindString}),
+		PrimaryKey: []string{"s_suppkey"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= nSupp; i++ {
+		sup.Append(types.Row{types.NewInt(int64(i)), types.NewString(fmt.Sprintf("s%d", i))})
+	}
+	part, err := cat.Create(&schema.TableDef{
+		Name: "part",
+		Schema: schema.New(
+			schema.Column{Name: "p_partkey", Type: types.KindInt},
+			schema.Column{Name: "p_name", Type: types.KindString},
+			schema.Column{Name: "p_retailprice", Type: types.KindFloat},
+			schema.Column{Name: "p_brand", Type: types.KindString}),
+		PrimaryKey: []string{"p_partkey"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	brands := []string{"Brand#A", "Brand#B", "Brand#C"}
+	for i := 1; i <= nPart; i++ {
+		part.Append(types.Row{
+			types.NewInt(int64(i)),
+			types.NewString(fmt.Sprintf("p%d", i)),
+			types.NewFloat(float64(rng.Intn(1000)) / 10),
+			types.NewString(brands[rng.Intn(len(brands))]),
+		})
+	}
+	ps, err := cat.Create(&schema.TableDef{
+		Name: "partsupp",
+		Schema: schema.New(
+			schema.Column{Name: "ps_partkey", Type: types.KindInt},
+			schema.Column{Name: "ps_suppkey", Type: types.KindInt}),
+		PrimaryKey: []string{"ps_partkey", "ps_suppkey"},
+		ForeignKeys: []schema.ForeignKey{
+			{Cols: []string{"ps_partkey"}, RefTable: "part", RefCols: []string{"p_partkey"}},
+			{Cols: []string{"ps_suppkey"}, RefTable: "supplier", RefCols: []string{"s_suppkey"}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 1; p <= nPart; p++ {
+		n := 1 + rng.Intn(3)
+		seen := map[int]bool{}
+		for j := 0; j < n; j++ {
+			s := 1 + rng.Intn(nSupp)
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			ps.Append(types.Row{types.NewInt(int64(p)), types.NewInt(int64(s))})
+		}
+	}
+	return cat
+}
+
+// TestTheorem1Property checks the paper's Theorem 1 end to end on
+// randomized data: pushing the covering range into the outer query
+// (when PGQ(φ)=φ) never changes the result of any query in a family of
+// selective per-group queries, across random data sets.
+func TestTheorem1Property(t *testing.T) {
+	queries := []string{
+		// single selection
+		`select gapply(select p_name from g where p_brand = 'Brand#A')
+		 from partsupp, part where ps_partkey = p_partkey group by ps_suppkey : g`,
+		// stacked conditions
+		`select gapply(select p_name from g where p_brand = 'Brand#A' and p_retailprice > 40)
+		 from partsupp, part where ps_partkey = p_partkey group by ps_suppkey : g`,
+		// union of two selective branches (disjunctive covering range)
+		`select gapply(select p_name from g where p_brand = 'Brand#A'
+		               union all
+		               select p_name from g where p_brand = 'Brand#B')
+		 from partsupp, part where ps_partkey = p_partkey group by ps_suppkey : g`,
+		// Figure 3: selection plus aggregate over a different selection
+		`select gapply(select p_name from g
+		               where p_brand = 'Brand#A' and p_retailprice >
+		                     (select avg(p_retailprice) from g where p_brand = 'Brand#B'))
+		 from partsupp, part where ps_partkey = p_partkey group by ps_suppkey : g`,
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		cat := randomCatalog(t, seed, 5+int(seed), 30)
+		ctx := &Context{Catalog: cat}
+		for qi, q := range queries {
+			plan := bindSQL(t, cat, q)
+			plan, _ = PushDownSelections{}.Apply(plan, ctx)
+			want := runPlan(t, cat, plan)
+			rewritten, fired := SelectionBeforeGApply{}.Apply(plan, ctx)
+			if !fired {
+				t.Fatalf("seed %d query %d: rule did not fire", seed, qi)
+			}
+			got := runPlan(t, cat, rewritten)
+			if !sameMultiset(want, got) {
+				t.Fatalf("seed %d query %d: Theorem 1 violated\nbefore: %v\nafter: %v\nplan:\n%s",
+					seed, qi, want, got, core.Format(rewritten))
+			}
+		}
+	}
+}
+
+// TestTheorem1RequiresEmptyOnEmpty pins the theorem's side condition:
+// with an aggregate branch (PGQ(φ) ≠ φ), pushing the range would drop
+// the 0-count rows, so the rule must refuse across random data.
+func TestTheorem1RequiresEmptyOnEmpty(t *testing.T) {
+	q := `select gapply(select count(*) from g where p_brand = 'Brand#A') as (n)
+	      from partsupp, part where ps_partkey = p_partkey group by ps_suppkey : g`
+	for seed := int64(1); seed <= 4; seed++ {
+		cat := randomCatalog(t, seed, 6, 25)
+		mustNotFire(t, cat, SelectionBeforeGApply{}, bindSQL(t, cat, q))
+	}
+}
+
+// TestTheorem2Property checks Theorem 2 on randomized data: moving
+// GApply below a foreign-key join whose join columns are grouping
+// columns (with the adapted per-group query) preserves results.
+func TestTheorem2Property(t *testing.T) {
+	queries := []string{
+		// Figure 7: name + cheapest part per supplier.
+		`select gapply(select s_name, p_name, p_retailprice from g
+		               where p_retailprice = (select min(p_retailprice) from g))
+		 from partsupp, part, supplier
+		 where ps_partkey = p_partkey and ps_suppkey = s_suppkey
+		 group by s_suppkey : g`,
+		// Aggregate-only per-group query.
+		`select gapply(select max(p_retailprice) from g) as (top)
+		 from partsupp, part, supplier
+		 where ps_partkey = p_partkey and ps_suppkey = s_suppkey
+		 group by s_suppkey : g`,
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		cat := randomCatalog(t, seed, 4+int(seed)%5, 25)
+		ctx := &Context{Catalog: cat}
+		for qi, q := range queries {
+			plan := bindSQL(t, cat, q)
+			plan, _ = PushDownSelections{}.Apply(plan, ctx)
+			want := runPlan(t, cat, plan)
+			rewritten, fired := InvariantGrouping{}.Apply(plan, ctx)
+			if !fired {
+				t.Fatalf("seed %d query %d: rule did not fire\n%s", seed, qi, core.Format(plan))
+			}
+			got := runPlan(t, cat, rewritten)
+			if !sameMultiset(want, got) {
+				t.Fatalf("seed %d query %d: Theorem 2 violated\nbefore: %v\nafter: %v\nplan:\n%s",
+					seed, qi, want, got, core.Format(rewritten))
+			}
+		}
+	}
+}
+
+// TestGroupSelectionProperty randomizes the §4.2 rewrites.
+func TestGroupSelectionProperty(t *testing.T) {
+	existsQ := `select gapply(select * from g where exists
+			(select p_partkey from g where p_retailprice > 80))
+		from partsupp, part where ps_partkey = p_partkey group by ps_suppkey : g`
+	aggQ := `select gapply(select * from g where
+			(select avg(p_retailprice) from g) > 50)
+		from partsupp, part where ps_partkey = p_partkey group by ps_suppkey : g`
+	for seed := int64(1); seed <= 8; seed++ {
+		cat := randomCatalog(t, seed, 6, 30)
+		for _, tc := range []struct {
+			rule Rule
+			q    string
+		}{
+			{GroupSelectionExists{}, existsQ},
+			{GroupSelectionAggregate{}, aggQ},
+		} {
+			plan := bindSQL(t, cat, tc.q)
+			fireAndCheck(t, cat, tc.rule, plan)
+		}
+	}
+}
+
+// TestDecorrelateProperty randomizes the decorrelation rewrite over the
+// paper's Q2 correlated-aggregate shape.
+func TestDecorrelateProperty(t *testing.T) {
+	q := `select ps1.ps_suppkey, count(*) from partsupp ps1, part
+		where p_partkey = ps_partkey and p_retailprice >=
+			(select avg(p_retailprice) from partsupp, part
+			 where p_partkey = ps_partkey and ps_suppkey = ps1.ps_suppkey)
+		group by ps1.ps_suppkey`
+	for seed := int64(1); seed <= 8; seed++ {
+		cat := randomCatalog(t, seed, 5, 20)
+		fireAndCheck(t, cat, Decorrelate{}, bindSQL(t, cat, q))
+	}
+}

@@ -1,0 +1,143 @@
+// Package schema describes relation shapes: named, typed columns with
+// optional table qualifiers, plus key and foreign-key metadata. Foreign
+// keys matter to the optimizer: the invariant-grouping rule (paper §4.3,
+// Definition 2) may push GApply below a join only when every join above
+// the target node is a foreign-key join.
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"gapplydb/internal/types"
+)
+
+// Column is one attribute of a relation. Table may be empty for computed
+// columns (aggregates, expressions) or columns of anonymous subqueries.
+type Column struct {
+	Table string
+	Name  string
+	Type  types.Kind
+}
+
+// QualifiedName renders table.name, or just name when unqualified.
+func (c Column) QualifiedName() string {
+	if c.Table == "" {
+		return c.Name
+	}
+	return c.Table + "." + c.Name
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Cols []Column
+}
+
+// New builds a schema from columns.
+func New(cols ...Column) *Schema { return &Schema{Cols: cols} }
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Cols) }
+
+// Concat returns the column-wise concatenation of two schemas (the join
+// output shape).
+func (s *Schema) Concat(o *Schema) *Schema {
+	cols := make([]Column, 0, len(s.Cols)+len(o.Cols))
+	cols = append(cols, s.Cols...)
+	cols = append(cols, o.Cols...)
+	return &Schema{Cols: cols}
+}
+
+// Project returns the schema restricted to the given ordinals.
+func (s *Schema) Project(ordinals []int) *Schema {
+	cols := make([]Column, len(ordinals))
+	for i, o := range ordinals {
+		cols[i] = s.Cols[o]
+	}
+	return &Schema{Cols: cols}
+}
+
+// Rename returns a copy of the schema with every column re-qualified by
+// the given table alias (the shape of `from t as alias`).
+func (s *Schema) Rename(alias string) *Schema {
+	cols := make([]Column, len(s.Cols))
+	for i, c := range s.Cols {
+		cols[i] = Column{Table: alias, Name: c.Name, Type: c.Type}
+	}
+	return &Schema{Cols: cols}
+}
+
+// Resolve finds the ordinal of table.name (table may be empty for an
+// unqualified reference). An unqualified reference that matches more than
+// one column is ambiguous and errors, matching SQL name resolution.
+func (s *Schema) Resolve(table, name string) (int, error) {
+	found := -1
+	for i, c := range s.Cols {
+		if !strings.EqualFold(c.Name, name) {
+			continue
+		}
+		if table != "" && !strings.EqualFold(c.Table, table) {
+			continue
+		}
+		if found >= 0 {
+			return -1, fmt.Errorf("schema: ambiguous column reference %q", Column{Table: table, Name: name}.QualifiedName())
+		}
+		found = i
+	}
+	if found < 0 {
+		return -1, fmt.Errorf("schema: unknown column %q", Column{Table: table, Name: name}.QualifiedName())
+	}
+	return found, nil
+}
+
+// Has reports whether table.name resolves unambiguously.
+func (s *Schema) Has(table, name string) bool {
+	_, err := s.Resolve(table, name)
+	return err == nil
+}
+
+// String renders the schema for EXPLAIN output.
+func (s *Schema) String() string {
+	parts := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		parts[i] = c.QualifiedName() + " " + c.Type.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// ForeignKey declares that Cols in the owning table reference RefCols
+// (a key) of RefTable.
+type ForeignKey struct {
+	Cols     []string
+	RefTable string
+	RefCols  []string
+}
+
+// TableDef is the catalog entry for a base table.
+type TableDef struct {
+	Name        string
+	Schema      *Schema
+	PrimaryKey  []string
+	ForeignKeys []ForeignKey
+}
+
+// IsKey reports whether cols is a superset of the primary key, i.e.
+// groups formed on cols have at most one row per base-table key.
+func (d *TableDef) IsKey(cols []string) bool {
+	if len(d.PrimaryKey) == 0 {
+		return false
+	}
+	for _, k := range d.PrimaryKey {
+		ok := false
+		for _, c := range cols {
+			if strings.EqualFold(c, k) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

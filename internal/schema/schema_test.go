@@ -1,0 +1,110 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"gapplydb/internal/types"
+)
+
+func partSchema() *Schema {
+	return New(
+		Column{"part", "p_partkey", types.KindInt},
+		Column{"part", "p_name", types.KindString},
+		Column{"part", "p_retailprice", types.KindFloat},
+	)
+}
+
+func TestResolve(t *testing.T) {
+	s := partSchema()
+	if i, err := s.Resolve("part", "p_name"); err != nil || i != 1 {
+		t.Errorf("Resolve(part.p_name) = %d, %v", i, err)
+	}
+	if i, err := s.Resolve("", "p_retailprice"); err != nil || i != 2 {
+		t.Errorf("unqualified resolve = %d, %v", i, err)
+	}
+	if i, err := s.Resolve("PART", "P_NAME"); err != nil || i != 1 {
+		t.Errorf("case-insensitive resolve = %d, %v", i, err)
+	}
+	if _, err := s.Resolve("", "nosuch"); err == nil {
+		t.Error("unknown column must error")
+	}
+	if _, err := s.Resolve("supplier", "p_name"); err == nil {
+		t.Error("wrong qualifier must error")
+	}
+}
+
+func TestResolveAmbiguity(t *testing.T) {
+	s := New(
+		Column{"a", "key", types.KindInt},
+		Column{"b", "key", types.KindInt},
+	)
+	if _, err := s.Resolve("", "key"); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("ambiguous unqualified ref: err = %v", err)
+	}
+	if i, err := s.Resolve("b", "key"); err != nil || i != 1 {
+		t.Errorf("qualified ref disambiguates: %d, %v", i, err)
+	}
+	if s.Has("", "key") {
+		t.Error("Has must be false for ambiguous refs")
+	}
+	if !s.Has("a", "key") {
+		t.Error("Has must be true for qualified refs")
+	}
+}
+
+func TestConcatProjectRename(t *testing.T) {
+	s := partSchema()
+	o := New(Column{"ps", "ps_suppkey", types.KindInt})
+	cat := s.Concat(o)
+	if cat.Len() != 4 || cat.Cols[3].Name != "ps_suppkey" {
+		t.Errorf("Concat = %v", cat)
+	}
+	proj := cat.Project([]int{3, 0})
+	if proj.Len() != 2 || proj.Cols[0].Name != "ps_suppkey" || proj.Cols[1].Name != "p_partkey" {
+		t.Errorf("Project = %v", proj)
+	}
+	ren := s.Rename("t")
+	for _, c := range ren.Cols {
+		if c.Table != "t" {
+			t.Errorf("Rename left qualifier %q", c.Table)
+		}
+	}
+	// Rename must not mutate the source.
+	if s.Cols[0].Table != "part" {
+		t.Error("Rename mutated source schema")
+	}
+}
+
+func TestQualifiedNameAndString(t *testing.T) {
+	c := Column{"part", "p_name", types.KindString}
+	if c.QualifiedName() != "part.p_name" {
+		t.Errorf("QualifiedName = %q", c.QualifiedName())
+	}
+	c.Table = ""
+	if c.QualifiedName() != "p_name" {
+		t.Errorf("unqualified = %q", c.QualifiedName())
+	}
+	s := New(Column{"t", "a", types.KindInt})
+	if got := s.String(); got != "[t.a INT]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestIsKey(t *testing.T) {
+	def := &TableDef{
+		Name:       "partsupp",
+		Schema:     New(Column{"partsupp", "ps_partkey", types.KindInt}, Column{"partsupp", "ps_suppkey", types.KindInt}),
+		PrimaryKey: []string{"ps_partkey", "ps_suppkey"},
+	}
+	if !def.IsKey([]string{"ps_suppkey", "ps_partkey", "extra"}) {
+		t.Error("superset of PK is a key")
+	}
+	if def.IsKey([]string{"ps_suppkey"}) {
+		t.Error("subset of PK is not a key")
+	}
+	nokey := &TableDef{Name: "t", Schema: New()}
+	if nokey.IsKey([]string{"x"}) {
+		t.Error("table without PK has no keys")
+	}
+}

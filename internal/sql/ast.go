@@ -1,0 +1,153 @@
+package sql
+
+// The AST mirrors the grammar; the binder (internal/bind) lowers it to
+// the logical algebra.
+
+// SelectStmt is a (possibly unioned) select statement. A union chain is
+// right-nested through SetOp; ORDER BY applies to the whole chain and is
+// only populated on the head statement.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr
+	GroupBy  []ColName
+	// GroupVar is the relation-valued variable after ':' in the paper's
+	// extended GROUP BY clause; empty for a plain GROUP BY.
+	GroupVar string
+	Having   Expr
+	OrderBy  []OrderItem
+	SetOp    *SetOp
+}
+
+// SetOp chains a union (ALL or distinct) onto a select.
+type SetOp struct {
+	All   bool
+	Right *SelectStmt
+}
+
+// SelectItem is one entry of the select list.
+type SelectItem struct {
+	Star bool
+	// GApply holds the per-group query of a gapply(...) item; GApplyNames
+	// holds the optional "as (c1, c2, …)" output column names.
+	GApply      *SelectStmt
+	GApplyNames []string
+	Expr        Expr
+	Alias       string
+}
+
+// TableRef is one entry of the FROM list: a base table (with optional
+// alias) or a derived table with an alias and optional column names.
+type TableRef struct {
+	Table    string
+	Alias    string
+	Subquery *SelectStmt
+	ColNames []string
+}
+
+// ColName is a possibly-qualified column name.
+type ColName struct {
+	Table string
+	Name  string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Expr is an AST expression.
+type Expr interface{ exprNode() }
+
+// Ident is a possibly-qualified column reference.
+type Ident struct {
+	Table string
+	Name  string
+}
+
+// NumberLit is an integer or decimal literal.
+type NumberLit struct {
+	IsFloat bool
+	I       int64
+	F       float64
+}
+
+// StringLit is a quoted string literal.
+type StringLit struct {
+	S string
+}
+
+// NullLit is the NULL literal.
+type NullLit struct{}
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct {
+	B bool
+}
+
+// Binary is an arithmetic or comparison binary expression.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Logical is AND/OR over two or more operands.
+type Logical struct {
+	Op  string // "and" | "or"
+	Ops []Expr
+}
+
+// NotExpr negates a predicate.
+type NotExpr struct {
+	E Expr
+}
+
+// ExistsExpr is [NOT] EXISTS (subquery).
+type ExistsExpr struct {
+	Sub     *SelectStmt
+	Negated bool
+}
+
+// SubqueryExpr is a scalar subquery in an expression position.
+type SubqueryExpr struct {
+	Sub *SelectStmt
+}
+
+// AggCall is count/sum/avg/min/max, with optional DISTINCT and '*'.
+type AggCall struct {
+	Fn       string
+	Star     bool
+	Distinct bool
+	Arg      Expr
+}
+
+// FuncCall is a scalar function call (coalesce, abs).
+type FuncCall struct {
+	Name string
+	Args []Expr
+}
+
+func (*Ident) exprNode()        {}
+func (*NumberLit) exprNode()    {}
+func (*StringLit) exprNode()    {}
+func (*NullLit) exprNode()      {}
+func (*BoolLit) exprNode()      {}
+func (*Binary) exprNode()       {}
+func (*Logical) exprNode()      {}
+func (*NotExpr) exprNode()      {}
+func (*ExistsExpr) exprNode()   {}
+func (*SubqueryExpr) exprNode() {}
+func (*AggCall) exprNode()      {}
+func (*FuncCall) exprNode()     {}
+
+// HasGApply reports whether the select list contains a gapply item.
+func (s *SelectStmt) HasGApply() bool {
+	for _, it := range s.Items {
+		if it.GApply != nil {
+			return true
+		}
+	}
+	return false
+}

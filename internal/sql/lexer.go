@@ -1,0 +1,147 @@
+// Package sql is the SQL front end: a lexer, an AST, and a recursive-
+// descent parser for the engine's SQL subset extended with the paper's
+// groupwise-processing syntax (§3.1):
+//
+//	select gapply(<per-group query>) [as (<column list>)]
+//	from <relations>
+//	where <conditions>
+//	group by <grouping columns> : <group variable>
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokOp    // = <> < <= > >= + - * /
+	TokPunct // ( ) , . : ;
+)
+
+// Token is one lexical token with its source offset for error messages.
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are lower-cased; identifiers keep their case
+	Pos  int
+}
+
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "by": true,
+	"order": true, "having": true, "as": true, "and": true, "or": true,
+	"not": true, "exists": true, "union": true, "all": true,
+	"distinct": true, "null": true, "asc": true, "desc": true,
+	"gapply": true, "true": true, "false": true,
+	"inner": true, "join": true, "on": true, "left": true, "outer": true,
+	"explain": true,
+}
+
+// Lex tokenizes the input. It returns an error for unterminated strings
+// and unexpected characters.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_' || c == '$':
+			start := i
+			for i < n && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_' || input[i] == '$' || input[i] == '#') {
+				i++
+			}
+			word := input[start:i]
+			lower := strings.ToLower(word)
+			if keywords[lower] {
+				toks = append(toks, Token{Kind: TokKeyword, Text: lower, Pos: start})
+			} else {
+				toks = append(toks, Token{Kind: TokIdent, Text: word, Pos: start})
+			}
+		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < n && unicode.IsDigit(rune(input[i+1]))):
+			start := i
+			seenDot := false
+			for i < n && (unicode.IsDigit(rune(input[i])) || (input[i] == '.' && !seenDot)) {
+				if input[i] == '.' {
+					// "1.x" where x is not a digit is a qualified ref on a
+					// number — not legal SQL here, but keep the dot out.
+					if i+1 >= n || !unicode.IsDigit(rune(input[i+1])) {
+						break
+					}
+					seenDot = true
+				}
+				i++
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: input[start:i], Pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start})
+		case c == '<':
+			if i+1 < n && (input[i+1] == '=' || input[i+1] == '>') {
+				toks = append(toks, Token{Kind: TokOp, Text: input[i : i+2], Pos: i})
+				i += 2
+			} else {
+				toks = append(toks, Token{Kind: TokOp, Text: "<", Pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{Kind: TokOp, Text: ">=", Pos: i})
+				i += 2
+			} else {
+				toks = append(toks, Token{Kind: TokOp, Text: ">", Pos: i})
+				i++
+			}
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{Kind: TokOp, Text: "<>", Pos: i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+			}
+		case c == '=' || c == '+' || c == '-' || c == '*' || c == '/':
+			toks = append(toks, Token{Kind: TokOp, Text: string(c), Pos: i})
+			i++
+		case c == '(' || c == ')' || c == ',' || c == '.' || c == ':' || c == ';':
+			toks = append(toks, Token{Kind: TokPunct, Text: string(c), Pos: i})
+			i++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n})
+	return toks, nil
+}

@@ -1,0 +1,612 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a single statement (optionally terminated by ';').
+// An optional leading EXPLAIN is reported through the second result.
+func Parse(input string) (*SelectStmt, bool, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, false, err
+	}
+	p := &parser{toks: toks, src: input}
+	explain := false
+	if p.atKeyword("explain") {
+		p.next()
+		explain = true
+	}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, false, err
+	}
+	if p.atPunct(";") {
+		p.next()
+	}
+	if p.peek().Kind != TokEOF {
+		return nil, false, p.errorf("unexpected input after statement: %q", p.peek().Text)
+	}
+	return stmt, explain, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+	src  string
+}
+
+func (p *parser) peek() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token  { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atKeyword(k string) bool {
+	t := p.peek()
+	return t.Kind == TokKeyword && t.Text == k
+}
+func (p *parser) atPunct(s string) bool {
+	t := p.peek()
+	return t.Kind == TokPunct && t.Text == s
+}
+func (p *parser) atOp(s string) bool {
+	t := p.peek()
+	return t.Kind == TokOp && t.Text == s
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("sql: %s (near offset %d)", fmt.Sprintf(format, args...), p.peek().Pos)
+}
+
+func (p *parser) expectKeyword(k string) error {
+	if !p.atKeyword(k) {
+		return p.errorf("expected %s, got %q", strings.ToUpper(k), p.peek().Text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.atPunct(s) {
+		return p.errorf("expected %q, got %q", s, p.peek().Text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.Kind != TokIdent {
+		return "", p.errorf("expected identifier, got %q", t.Text)
+	}
+	p.next()
+	return t.Text, nil
+}
+
+// parseSelect parses a select statement including a UNION [ALL] chain
+// and a trailing ORDER BY that applies to the whole chain.
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	head, err := p.parseSelectCore()
+	if err != nil {
+		return nil, err
+	}
+	cur := head
+	for p.atKeyword("union") {
+		p.next()
+		all := false
+		if p.atKeyword("all") {
+			p.next()
+			all = true
+		}
+		right, err := p.parseSelectCore()
+		if err != nil {
+			return nil, err
+		}
+		cur.SetOp = &SetOp{All: all, Right: right}
+		cur = right
+	}
+	if p.atKeyword("order") {
+		p.next()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.atKeyword("desc") {
+				p.next()
+				item.Desc = true
+			} else if p.atKeyword("asc") {
+				p.next()
+			}
+			head.OrderBy = append(head.OrderBy, item)
+			if !p.atPunct(",") {
+				break
+			}
+			p.next()
+		}
+	}
+	return head, nil
+}
+
+func (p *parser) parseSelectCore() (*SelectStmt, error) {
+	// Allow a parenthesized select ("(select ...) union all ..." style).
+	if p.atPunct("(") && p.toks[p.pos+1].Kind == TokKeyword && p.toks[p.pos+1].Text == "select" {
+		p.next()
+		s, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	s := &SelectStmt{}
+	if p.atKeyword("distinct") {
+		p.next()
+		s.Distinct = true
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		s.Items = append(s.Items, item)
+		if !p.atPunct(",") {
+			break
+		}
+		p.next()
+	}
+	if p.atKeyword("from") {
+		p.next()
+		for {
+			tr, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			s.From = append(s.From, tr)
+			if !p.atPunct(",") {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.atKeyword("where") {
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = e
+	}
+	if p.atKeyword("group") {
+		p.next()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseColName()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, c)
+			if !p.atPunct(",") {
+				break
+			}
+			p.next()
+		}
+		// The paper's extension: "group by <cols> : <group variable>".
+		if p.atPunct(":") {
+			p.next()
+			v, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupVar = v
+		}
+	}
+	if p.atKeyword("having") {
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = e
+	}
+	return s, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.atOp("*") {
+		p.next()
+		return SelectItem{Star: true}, nil
+	}
+	if p.atKeyword("gapply") {
+		p.next()
+		if err := p.expectPunct("("); err != nil {
+			return SelectItem{}, err
+		}
+		pgq, err := p.parseSelect()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return SelectItem{}, err
+		}
+		item := SelectItem{GApply: pgq}
+		if p.atKeyword("as") {
+			p.next()
+			if err := p.expectPunct("("); err != nil {
+				return SelectItem{}, err
+			}
+			for {
+				name, err := p.expectIdent()
+				if err != nil {
+					return SelectItem{}, err
+				}
+				item.GApplyNames = append(item.GApplyNames, name)
+				if !p.atPunct(",") {
+					break
+				}
+				p.next()
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return SelectItem{}, err
+			}
+		}
+		return item, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.atKeyword("as") {
+		p.next()
+		a, err := p.expectIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = a
+	} else if p.peek().Kind == TokIdent {
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	if p.atPunct("(") {
+		p.next()
+		sub, err := p.parseSelect()
+		if err != nil {
+			return TableRef{}, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return TableRef{}, err
+		}
+		tr := TableRef{Subquery: sub}
+		if p.atKeyword("as") {
+			p.next()
+		}
+		alias, err := p.expectIdent()
+		if err != nil {
+			return TableRef{}, fmt.Errorf("sql: derived table requires an alias: %w", err)
+		}
+		tr.Alias = alias
+		if p.atPunct("(") {
+			p.next()
+			for {
+				name, err := p.expectIdent()
+				if err != nil {
+					return TableRef{}, err
+				}
+				tr.ColNames = append(tr.ColNames, name)
+				if !p.atPunct(",") {
+					break
+				}
+				p.next()
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return TableRef{}, err
+			}
+		}
+		return tr, nil
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr := TableRef{Table: name}
+	if p.atKeyword("as") {
+		p.next()
+		a, err := p.expectIdent()
+		if err != nil {
+			return TableRef{}, err
+		}
+		tr.Alias = a
+	} else if p.peek().Kind == TokIdent {
+		tr.Alias = p.next().Text
+	}
+	return tr, nil
+}
+
+func (p *parser) parseColName() (ColName, error) {
+	a, err := p.expectIdent()
+	if err != nil {
+		return ColName{}, err
+	}
+	if p.atPunct(".") {
+		p.next()
+		b, err := p.expectIdent()
+		if err != nil {
+			return ColName{}, err
+		}
+		return ColName{Table: a, Name: b}, nil
+	}
+	return ColName{Name: a}, nil
+}
+
+// ------------------------------------------------------------ expressions
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	ops := []Expr{left}
+	for p.atKeyword("or") {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, r)
+	}
+	if len(ops) == 1 {
+		return left, nil
+	}
+	return &Logical{Op: "or", Ops: ops}, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	ops := []Expr{left}
+	for p.atKeyword("and") {
+		p.next()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, r)
+	}
+	if len(ops) == 1 {
+		return left, nil
+	}
+	return &Logical{Op: "and", Ops: ops}, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.atKeyword("not") {
+		p.next()
+		if p.atKeyword("exists") {
+			return p.parseExists(true)
+		}
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseExists(negated bool) (Expr, error) {
+	if err := p.expectKeyword("exists"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	sub, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return &ExistsExpr{Sub: sub, Negated: negated}, nil
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	if p.atKeyword("exists") {
+		return p.parseExists(false)
+	}
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.Kind == TokOp {
+		switch t.Text {
+		case "=", "<>", "<", "<=", ">", ">=":
+			p.next()
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: t.Text, L: left, R: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("+") || p.atOp("-") {
+		op := p.next().Text
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, L: left, R: r}
+	}
+	return left, nil
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("*") || p.atOp("/") {
+		op := p.next().Text
+		r, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, L: left, R: r}
+	}
+	return left, nil
+}
+
+var aggFns = map[string]bool{"count": true, "sum": true, "avg": true, "min": true, "max": true}
+var scalarFns = map[string]bool{"coalesce": true, "abs": true}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokNumber:
+		p.next()
+		if strings.Contains(t.Text, ".") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errorf("bad number %q", t.Text)
+			}
+			return &NumberLit{IsFloat: true, F: f}, nil
+		}
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q", t.Text)
+		}
+		return &NumberLit{I: i}, nil
+
+	case t.Kind == TokString:
+		p.next()
+		return &StringLit{S: t.Text}, nil
+
+	case t.Kind == TokKeyword && t.Text == "null":
+		p.next()
+		return &NullLit{}, nil
+
+	case t.Kind == TokKeyword && (t.Text == "true" || t.Text == "false"):
+		p.next()
+		return &BoolLit{B: t.Text == "true"}, nil
+
+	case t.Kind == TokOp && t.Text == "-":
+		p.next()
+		e, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: "-", L: &NumberLit{I: 0}, R: e}, nil
+
+	case t.Kind == TokPunct && t.Text == "(":
+		// Parenthesized scalar subquery or expression.
+		if p.toks[p.pos+1].Kind == TokKeyword && p.toks[p.pos+1].Text == "select" {
+			p.next()
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return &SubqueryExpr{Sub: sub}, nil
+		}
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+
+	case t.Kind == TokIdent:
+		name := p.next().Text
+		lower := strings.ToLower(name)
+		if p.atPunct("(") && aggFns[lower] {
+			p.next()
+			call := &AggCall{Fn: lower}
+			if p.atKeyword("distinct") {
+				p.next()
+				call.Distinct = true
+			}
+			if p.atOp("*") {
+				p.next()
+				call.Star = true
+			} else {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Arg = arg
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		if p.atPunct("(") && scalarFns[lower] {
+			p.next()
+			call := &FuncCall{Name: lower}
+			if !p.atPunct(")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.atPunct(",") {
+						break
+					}
+					p.next()
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		if p.atPunct("(") {
+			return nil, p.errorf("unknown function %q", name)
+		}
+		if p.atPunct(".") {
+			p.next()
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &Ident{Table: name, Name: col}, nil
+		}
+		return &Ident{Name: name}, nil
+
+	default:
+		return nil, p.errorf("unexpected token %q", t.Text)
+	}
+}

@@ -1,0 +1,332 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, q string) *SelectStmt {
+	t.Helper()
+	s, _, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return s
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("select p_name, 1.5 from part where p_brand = 'Brand#A' -- comment\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokenKind
+	var texts []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+		texts = append(texts, tk.Text)
+	}
+	if texts[0] != "select" || kinds[0] != TokKeyword {
+		t.Errorf("first token = %v %q", kinds[0], texts[0])
+	}
+	if texts[3] != "1.5" || kinds[3] != TokNumber {
+		t.Errorf("number token = %q", texts[3])
+	}
+	found := false
+	for i, tx := range texts {
+		if tx == "Brand#A" && kinds[i] == TokString {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("string literal not lexed")
+	}
+	if kinds[len(kinds)-1] != TokEOF {
+		t.Error("missing EOF")
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex("select 'unterminated"); err == nil {
+		t.Error("unterminated string must fail")
+	}
+	if _, err := Lex("select @x"); err == nil {
+		t.Error("bad character must fail")
+	}
+	if _, err := Lex("a ! b"); err == nil {
+		t.Error("lone ! must fail")
+	}
+	// != is accepted as <>.
+	toks, err := Lex("a != b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Text != "<>" {
+		t.Errorf("!= lexed as %q", toks[1].Text)
+	}
+	// Escaped quote inside string.
+	toks, err = Lex("'it''s'")
+	if err != nil || toks[0].Text != "it's" {
+		t.Errorf("escaped quote: %v %v", toks, err)
+	}
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	s := mustParse(t, "select p_name, p_retailprice from part where p_retailprice > 10 order by p_name desc")
+	if len(s.Items) != 2 || s.Items[0].Expr.(*Ident).Name != "p_name" {
+		t.Errorf("items = %+v", s.Items)
+	}
+	if len(s.From) != 1 || s.From[0].Table != "part" {
+		t.Errorf("from = %+v", s.From)
+	}
+	b, ok := s.Where.(*Binary)
+	if !ok || b.Op != ">" {
+		t.Errorf("where = %+v", s.Where)
+	}
+	if len(s.OrderBy) != 1 || !s.OrderBy[0].Desc {
+		t.Errorf("order by = %+v", s.OrderBy)
+	}
+}
+
+func TestParseJoinViaCommaAndAliases(t *testing.T) {
+	s := mustParse(t, "select * from partsupp ps, part as p where ps.ps_partkey = p.p_partkey")
+	if !s.Items[0].Star {
+		t.Error("star item")
+	}
+	if s.From[0].Alias != "ps" || s.From[1].Alias != "p" {
+		t.Errorf("aliases = %+v", s.From)
+	}
+	w := s.Where.(*Binary)
+	if w.L.(*Ident).Table != "ps" || w.R.(*Ident).Table != "p" {
+		t.Errorf("where sides = %+v", w)
+	}
+}
+
+func TestParseGroupByWithVariable(t *testing.T) {
+	// The paper's extension (§3.1).
+	s := mustParse(t, `
+		select gapply(select p_name, p_retailprice, null from tmpSupp
+		              union all
+		              select null, null, avg(p_retailprice) from tmpSupp)
+		from partsupp, part
+		where ps_partkey = p_partkey
+		group by ps_suppkey : tmpSupp`)
+	if !s.HasGApply() {
+		t.Fatal("gapply item not recognized")
+	}
+	if s.GroupVar != "tmpSupp" {
+		t.Errorf("group var = %q", s.GroupVar)
+	}
+	if len(s.GroupBy) != 1 || s.GroupBy[0].Name != "ps_suppkey" {
+		t.Errorf("group by = %+v", s.GroupBy)
+	}
+	pgq := s.Items[0].GApply
+	if pgq.SetOp == nil || !pgq.SetOp.All {
+		t.Error("PGQ union all chain missing")
+	}
+	if len(pgq.Items) != 3 {
+		t.Errorf("PGQ items = %d", len(pgq.Items))
+	}
+}
+
+func TestParseGApplyWithColumnNames(t *testing.T) {
+	s := mustParse(t, `select gapply(select count(*) from g) as (n) from part group by p_brand : g`)
+	if s.Items[0].GApplyNames[0] != "n" {
+		t.Errorf("names = %v", s.Items[0].GApplyNames)
+	}
+	s = mustParse(t, `select gapply(select count(*), null from g) as (above, below) from part group by p_brand : g`)
+	if len(s.Items[0].GApplyNames) != 2 {
+		t.Errorf("names = %v", s.Items[0].GApplyNames)
+	}
+}
+
+func TestParsePlainGroupByAndHaving(t *testing.T) {
+	s := mustParse(t, "select ps_suppkey, avg(p_retailprice) a from partsupp group by ps_suppkey having count(*) > 2")
+	if s.GroupVar != "" {
+		t.Error("plain group by must have no group var")
+	}
+	if s.Items[1].Alias != "a" {
+		t.Errorf("bare alias = %q", s.Items[1].Alias)
+	}
+	if s.Having == nil {
+		t.Error("having missing")
+	}
+	agg := s.Items[1].Expr.(*AggCall)
+	if agg.Fn != "avg" || agg.Star {
+		t.Errorf("agg = %+v", agg)
+	}
+}
+
+func TestParseSubqueries(t *testing.T) {
+	s := mustParse(t, `select ps_suppkey from partsupp ps1, part
+		where p_partkey = ps_partkey and p_retailprice >=
+		  (select avg(p_retailprice) from partsupp, part
+		   where p_partkey = ps_partkey and ps_suppkey = ps1.ps_suppkey)
+		group by ps_suppkey`)
+	conj := s.Where.(*Logical)
+	if conj.Op != "and" || len(conj.Ops) != 2 {
+		t.Fatalf("where = %+v", s.Where)
+	}
+	cmp := conj.Ops[1].(*Binary)
+	if _, ok := cmp.R.(*SubqueryExpr); !ok {
+		t.Errorf("scalar subquery not parsed: %+v", cmp.R)
+	}
+}
+
+func TestParseExists(t *testing.T) {
+	s := mustParse(t, `select s_name from supplier where exists
+		(select p_partkey from partsupp where ps_suppkey = s_suppkey)`)
+	e, ok := s.Where.(*ExistsExpr)
+	if !ok || e.Negated {
+		t.Fatalf("where = %+v", s.Where)
+	}
+	s = mustParse(t, `select s_name from supplier where not exists (select p_partkey from partsupp)`)
+	e = s.Where.(*ExistsExpr)
+	if !e.Negated {
+		t.Error("not exists must set Negated")
+	}
+}
+
+func TestParseDerivedTable(t *testing.T) {
+	s := mustParse(t, `select tmp.k from
+		(select ps_suppkey, avg(p_retailprice) from partsupp group by ps_suppkey) as tmp(k, avgprice)
+		where tmp.avgprice > 100`)
+	tr := s.From[0]
+	if tr.Subquery == nil || tr.Alias != "tmp" {
+		t.Fatalf("derived table = %+v", tr)
+	}
+	if len(tr.ColNames) != 2 || tr.ColNames[1] != "avgprice" {
+		t.Errorf("colnames = %v", tr.ColNames)
+	}
+	// Derived table without alias is rejected.
+	if _, _, err := Parse("select * from (select 1 from part)"); err == nil {
+		t.Error("derived table without alias must fail")
+	}
+}
+
+func TestParseUnionChainWithOrderBy(t *testing.T) {
+	s := mustParse(t, `
+		(select ps_suppkey, p_name, null from partsupp, part where ps_partkey = p_partkey
+		 union all
+		 select ps_suppkey, null, avg(p_retailprice) from partsupp, part where ps_partkey = p_partkey group by ps_suppkey)
+		order by ps_suppkey`)
+	if s.SetOp == nil || !s.SetOp.All {
+		t.Fatal("union all missing")
+	}
+	if len(s.OrderBy) != 1 {
+		t.Errorf("order by on chain head = %+v", s.OrderBy)
+	}
+	if s.SetOp.Right.GroupBy == nil {
+		t.Error("right branch group by missing")
+	}
+	// Distinct union.
+	s = mustParse(t, "select 1 from part union select 2 from part")
+	if s.SetOp == nil || s.SetOp.All {
+		t.Error("plain UNION must not be ALL")
+	}
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	s := mustParse(t, "select 1 + 2 * 3 from part")
+	b := s.Items[0].Expr.(*Binary)
+	if b.Op != "+" {
+		t.Fatalf("top op = %q", b.Op)
+	}
+	if r := b.R.(*Binary); r.Op != "*" {
+		t.Errorf("* must bind tighter: %+v", b)
+	}
+	// Unary minus.
+	s = mustParse(t, "select -5 from part")
+	neg := s.Items[0].Expr.(*Binary)
+	if neg.Op != "-" || neg.L.(*NumberLit).I != 0 || neg.R.(*NumberLit).I != 5 {
+		t.Errorf("unary minus = %+v", neg)
+	}
+}
+
+func TestParseLogicalPrecedence(t *testing.T) {
+	s := mustParse(t, "select 1 from part where a = 1 or b = 2 and c = 3")
+	or := s.Where.(*Logical)
+	if or.Op != "or" || len(or.Ops) != 2 {
+		t.Fatalf("top = %+v", s.Where)
+	}
+	and := or.Ops[1].(*Logical)
+	if and.Op != "and" {
+		t.Error("AND must bind tighter than OR")
+	}
+	s = mustParse(t, "select 1 from part where not a = 1 and b = 2")
+	top := s.Where.(*Logical)
+	if _, ok := top.Ops[0].(*NotExpr); !ok {
+		t.Error("NOT binds tighter than AND")
+	}
+}
+
+func TestParseAggDistinctAndFuncs(t *testing.T) {
+	s := mustParse(t, "select count(distinct p_brand), coalesce(p_size, 0), abs(p_size) from part")
+	agg := s.Items[0].Expr.(*AggCall)
+	if !agg.Distinct || agg.Fn != "count" {
+		t.Errorf("agg = %+v", agg)
+	}
+	fc := s.Items[1].Expr.(*FuncCall)
+	if fc.Name != "coalesce" || len(fc.Args) != 2 {
+		t.Errorf("func = %+v", fc)
+	}
+	if _, _, err := Parse("select nosuchfn(1) from part"); err == nil {
+		t.Error("unknown function must fail")
+	}
+}
+
+func TestParseExplainAndSemicolon(t *testing.T) {
+	_, explain, err := Parse("explain select 1 from part;")
+	if err != nil || !explain {
+		t.Errorf("explain = %v, err %v", explain, err)
+	}
+	_, explain, _ = Parse("select 1 from part")
+	if explain {
+		t.Error("no explain keyword")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"select",
+		"select 1 from",
+		"select 1 from part where",
+		"select 1 from part group by",
+		"select 1 from part group by x :",
+		"select gapply(select 1 from g from part",
+		"select 1 from part trailing garbage (",
+		"select 1 from part; select 2 from part",
+		"select (select 1 from part from part",
+	}
+	for _, q := range bad {
+		if _, _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) must fail", q)
+		}
+	}
+}
+
+func TestParsePaperQ2Verbatim(t *testing.T) {
+	// The paper's §3.1 Q2 with the extended syntax, inlined.
+	q := `
+	select gapply(
+		select count(*), null from tmpSupp
+		where p_retailprice >= (select avg(p_retailprice) from tmpSupp)
+		union all
+		select null, count(*) from tmpSupp
+		where p_retailprice < (select avg(p_retailprice) from tmpSupp)
+	) as (count_above, count_below)
+	from partsupp, part
+	where ps_partkey = p_partkey
+	group by ps_suppkey : tmpSupp`
+	s := mustParse(t, q)
+	pgq := s.Items[0].GApply
+	if pgq == nil || pgq.SetOp == nil {
+		t.Fatal("Q2 structure missing")
+	}
+	if s.Items[0].GApplyNames[1] != "count_below" {
+		t.Errorf("names = %v", s.Items[0].GApplyNames)
+	}
+	if !strings.EqualFold(s.GroupVar, "tmpSupp") {
+		t.Errorf("group var = %q", s.GroupVar)
+	}
+}

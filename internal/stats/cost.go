@@ -1,0 +1,270 @@
+package stats
+
+import (
+	"math"
+
+	"gapplydb/internal/core"
+	"gapplydb/internal/types"
+)
+
+// Estimate is a cardinality + cost estimate for a plan node.
+type Estimate struct {
+	Rows float64
+	Cost float64
+}
+
+// Per-row work constants. Only their ratios matter; they are tuned so
+// the optimizer's choices match the executor's observed behaviour
+// (hashing a row costs more than streaming it, sorting carries a log
+// factor, re-executing an apply inner is a full inner cost).
+const (
+	cScanRow    = 1.0
+	cFilterRow  = 0.2
+	cProjectRow = 0.2
+	cHashRow    = 1.5 // insert or probe
+	cSortRow    = 1.0 // multiplied by log2(n)
+	cGroupRow   = 1.8 // partition/aggregate bookkeeping per row
+	cEmitRow    = 0.1
+)
+
+// Estimator derives cardinalities and costs from collected statistics.
+type Estimator struct {
+	Stats *Stats
+
+	// groupRows is the assumed GroupScan cardinality, set while costing a
+	// per-group query under the §4.4 uniformity assumption.
+	groupRows float64
+}
+
+// NewEstimator wraps stats for cost estimation.
+func NewEstimator(s *Stats) *Estimator { return &Estimator{Stats: s} }
+
+// Estimate computes the estimate for a plan tree.
+func (e *Estimator) Estimate(n core.Node) Estimate {
+	switch x := n.(type) {
+	case *core.Scan:
+		rows := float64(e.Stats.TableRows(x.Table))
+		return Estimate{Rows: rows, Cost: rows * cScanRow}
+
+	case *core.GroupScan:
+		rows := e.groupRows
+		if rows <= 0 {
+			rows = 1
+		}
+		return Estimate{Rows: rows, Cost: rows * cScanRow}
+
+	case *core.Select:
+		in := e.Estimate(x.Input)
+		sel := e.selectivity(x.Cond, in.Rows)
+		return Estimate{Rows: in.Rows * sel, Cost: in.Cost + in.Rows*cFilterRow}
+
+	case *core.Project:
+		in := e.Estimate(x.Input)
+		return Estimate{Rows: in.Rows, Cost: in.Cost + in.Rows*cProjectRow}
+
+	case *core.Distinct:
+		in := e.Estimate(x.Input)
+		out := in.Rows * 0.5
+		if out < 1 {
+			out = 1
+		}
+		return Estimate{Rows: out, Cost: in.Cost + in.Rows*cHashRow}
+
+	case *core.Join:
+		l, r := e.Estimate(x.Left), e.Estimate(x.Right)
+		sel := 1.0
+		pairs := x.EquiPairs()
+		if len(pairs) > 0 {
+			for _, p := range pairs {
+				dl := e.Stats.ColumnDistinct(p.Left.Table, p.Left.Name, l.Rows)
+				dr := e.Stats.ColumnDistinct(p.Right.Table, p.Right.Name, r.Rows)
+				sel /= math.Max(dl, dr)
+			}
+		} else if x.Cond != nil {
+			sel = 0.33
+		}
+		rows := l.Rows * r.Rows * sel
+		if x.Kind == core.LeftOuterJoin && rows < l.Rows {
+			rows = l.Rows
+		}
+		cost := l.Cost + r.Cost + r.Rows*cHashRow + l.Rows*cHashRow + rows*cEmitRow
+		return Estimate{Rows: rows, Cost: cost}
+
+	case *core.GroupBy:
+		in := e.Estimate(x.Input)
+		groups := e.distinctOf(x.GroupCols, x.Input, in.Rows)
+		return Estimate{Rows: groups, Cost: in.Cost + in.Rows*cGroupRow}
+
+	case *core.AggOp:
+		in := e.Estimate(x.Input)
+		return Estimate{Rows: 1, Cost: in.Cost + in.Rows*cGroupRow}
+
+	case *core.OrderBy:
+		in := e.Estimate(x.Input)
+		return Estimate{Rows: in.Rows, Cost: in.Cost + sortCost(in.Rows)}
+
+	case *core.UnionAll:
+		var out Estimate
+		for _, c := range x.Inputs {
+			est := e.Estimate(c)
+			out.Rows += est.Rows
+			out.Cost += est.Cost
+		}
+		return out
+
+	case *core.Apply:
+		outer := e.Estimate(x.Outer)
+		inner := e.Estimate(x.Inner)
+		innerRows := inner.Rows
+		execs := outer.Rows
+		if len(core.OuterRefsIn(x.Inner)) == 0 {
+			// Uncorrelated inners are cached across the outer loop.
+			execs = 1
+		}
+		rows := outer.Rows * math.Max(innerRows, 1)
+		if _, isExists := x.Inner.(*core.Exists); isExists {
+			rows = outer.Rows * 0.5 // semijoin-style selectivity
+		}
+		return Estimate{Rows: rows, Cost: outer.Cost + execs*inner.Cost + rows*cEmitRow}
+
+	case *core.Exists:
+		in := e.Estimate(x.Input)
+		return Estimate{Rows: 1, Cost: in.Cost}
+
+	case *core.GApply:
+		return e.estimateGApply(x)
+
+	default:
+		var out Estimate
+		for _, c := range n.Children() {
+			est := e.Estimate(c)
+			out.Rows += est.Rows
+			out.Cost += est.Cost
+		}
+		return out
+	}
+}
+
+// estimateGApply implements §4.4: uniform groups, per-group query costed
+// once at the average group size and multiplied by the group count.
+func (e *Estimator) estimateGApply(g *core.GApply) Estimate {
+	outer := e.Estimate(g.Outer)
+	groups := e.distinctOf(g.GroupCols, g.Outer, outer.Rows)
+	avgGroup := 1.0
+	if groups > 0 {
+		avgGroup = outer.Rows / groups
+	}
+
+	saved := e.groupRows
+	e.groupRows = avgGroup
+	perGroup := e.Estimate(g.Inner)
+	e.groupRows = saved
+
+	partition := outer.Rows * cHashRow
+	if g.Partition == core.PartitionSort {
+		partition = sortCost(outer.Rows)
+	}
+	return Estimate{
+		Rows: groups * math.Max(perGroup.Rows, 1),
+		Cost: outer.Cost + partition + groups*perGroup.Cost,
+	}
+}
+
+// distinctOf estimates the distinct count of a column combination.
+func (e *Estimator) distinctOf(cols []*core.ColRef, input core.Node, rows float64) float64 {
+	d := 1.0
+	for _, c := range cols {
+		d *= e.Stats.ColumnDistinct(c.Table, c.Name, rows)
+	}
+	if d > rows && rows > 0 {
+		d = rows
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// selectivity estimates the fraction of rows passing a predicate given
+// the (already-estimated) input cardinality. Taking rows as a number
+// rather than re-estimating the input subtree keeps Estimate linear in
+// plan size.
+func (e *Estimator) selectivity(cond core.Expr, rows float64) float64 {
+	if cond == nil {
+		return 1
+	}
+	switch x := cond.(type) {
+	case *core.And:
+		s := 1.0
+		for _, o := range x.Ops {
+			s *= e.selectivity(o, rows)
+		}
+		return s
+	case *core.Or:
+		s := 0.0
+		for _, o := range x.Ops {
+			oi := e.selectivity(o, rows)
+			s = s + oi - s*oi
+		}
+		return s
+	case *core.Not:
+		return clampSel(1 - e.selectivity(x.Op, rows))
+	case *core.Cmp:
+		col, lit, op := cmpColLit(x)
+		if col == nil {
+			// col-to-col or computed comparison.
+			if x.Op == "=" {
+				return 0.1
+			}
+			return 1.0 / 3
+		}
+		switch op {
+		case "=":
+			return clampSel(1 / e.Stats.ColumnDistinct(col.Table, col.Name, rows))
+		case "<>":
+			return clampSel(1 - 1/e.Stats.ColumnDistinct(col.Table, col.Name, rows))
+		default:
+			return e.Stats.RangeSelectivity(col.Table, col.Name, op, lit)
+		}
+	default:
+		return 0.5
+	}
+}
+
+// cmpColLit matches a comparison of a column with a literal, returning
+// the normalized (column, literal, operator-with-column-on-left).
+func cmpColLit(c *core.Cmp) (*core.ColRef, types.Value, string) {
+	if col, ok := c.L.(*core.ColRef); ok {
+		if l, ok := c.R.(*core.Lit); ok {
+			return col, l.V, c.Op
+		}
+	}
+	if col, ok := c.R.(*core.ColRef); ok {
+		if l, ok := c.L.(*core.Lit); ok {
+			return col, l.V, flipOp(c.Op)
+		}
+	}
+	return nil, types.Null, ""
+}
+
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	default:
+		return op
+	}
+}
+
+func sortCost(rows float64) float64 {
+	if rows < 2 {
+		return cSortRow
+	}
+	return rows * math.Log2(rows) * cSortRow
+}

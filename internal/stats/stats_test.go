@@ -1,0 +1,213 @@
+package stats
+
+import (
+	"testing"
+
+	"gapplydb/internal/core"
+	"gapplydb/internal/schema"
+	"gapplydb/internal/storage"
+	"gapplydb/internal/tpch"
+	"gapplydb/internal/types"
+)
+
+func tinyCatalog(t *testing.T) *storage.Catalog {
+	t.Helper()
+	cat := storage.NewCatalog()
+	if err := tpch.Load(cat, 0.001); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestCollectBasics(t *testing.T) {
+	cat := tinyCatalog(t)
+	s := Collect(cat)
+	sz := tpch.SizesFor(0.001)
+	if got := s.TableRows("supplier"); got != int64(sz.Suppliers) {
+		t.Errorf("supplier rows = %d", got)
+	}
+	if got := s.TableRows("nosuch"); got != 0 {
+		t.Errorf("unknown table rows = %d", got)
+	}
+	// Primary keys are fully distinct.
+	if got := s.ColumnDistinct("part", "p_partkey", 0); got != float64(sz.Parts) {
+		t.Errorf("p_partkey distinct = %v", got)
+	}
+	// ps_suppkey has at most #suppliers distinct values.
+	if got := s.ColumnDistinct("partsupp", "ps_suppkey", 0); got > float64(sz.Suppliers) {
+		t.Errorf("ps_suppkey distinct = %v", got)
+	}
+}
+
+func TestColumnDistinctFallbacks(t *testing.T) {
+	cat := tinyCatalog(t)
+	s := Collect(cat)
+	// Unknown table, known column elsewhere: cross-table search.
+	if got := s.ColumnDistinct("", "p_partkey", 100); got <= 1 {
+		t.Errorf("cross-table distinct = %v", got)
+	}
+	// Completely unknown column: sqrt heuristic, at least 1.
+	if got := s.ColumnDistinct("", "zzz", 100); got != 10 {
+		t.Errorf("sqrt fallback = %v", got)
+	}
+	if got := s.ColumnDistinct("", "zzz", 0); got != 1 {
+		t.Errorf("floor = %v", got)
+	}
+}
+
+func TestNullFraction(t *testing.T) {
+	cat := storage.NewCatalog()
+	tab, _ := cat.Create(&schema.TableDef{
+		Name:   "t",
+		Schema: schema.New(schema.Column{Name: "a", Type: types.KindInt}),
+	})
+	tab.Append(types.Row{types.NewInt(1)})
+	tab.Append(types.Row{types.Null})
+	tab.Append(types.Row{types.Null})
+	tab.Append(types.Row{types.NewInt(2)})
+	s := Collect(cat)
+	cs := s.Tables["t"].Columns["a"]
+	if cs.NullFrac != 0.5 {
+		t.Errorf("null frac = %v", cs.NullFrac)
+	}
+	if cs.Distinct != 2 {
+		t.Errorf("distinct = %v", cs.Distinct)
+	}
+	if cs.Min.Int() != 1 || cs.Max.Int() != 2 {
+		t.Errorf("min/max = %v/%v", cs.Min, cs.Max)
+	}
+}
+
+func TestRangeSelectivity(t *testing.T) {
+	cat := tinyCatalog(t)
+	s := Collect(cat)
+	// p_size spans 1..50 roughly uniformly.
+	lo := s.RangeSelectivity("part", "p_size", "<", types.NewInt(10))
+	hi := s.RangeSelectivity("part", "p_size", ">", types.NewInt(40))
+	if lo > 0.4 || lo < 0.05 {
+		t.Errorf("p_size < 10 sel = %v", lo)
+	}
+	if hi > 0.4 || hi < 0.05 {
+		t.Errorf("p_size > 40 sel = %v", hi)
+	}
+	// Unknown column falls to the Selinger default.
+	if got := s.RangeSelectivity("part", "zzz", "<", types.NewInt(1)); got != 1.0/3 {
+		t.Errorf("unknown col sel = %v", got)
+	}
+	// Extremes clamp but never hit zero.
+	if got := s.RangeSelectivity("part", "p_size", "<", types.NewInt(-5)); got < 0.001 {
+		t.Errorf("clamped sel = %v", got)
+	}
+}
+
+func scanOf(t *testing.T, cat *storage.Catalog, name string) *core.Scan {
+	t.Helper()
+	tab, err := cat.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &core.Scan{Table: name, Def: tab.Def}
+}
+
+func TestEstimateScanSelectJoin(t *testing.T) {
+	cat := tinyCatalog(t)
+	est := NewEstimator(Collect(cat))
+	sz := tpch.SizesFor(0.001)
+
+	scan := scanOf(t, cat, "part")
+	e := est.Estimate(scan)
+	if e.Rows != float64(sz.Parts) {
+		t.Errorf("scan rows = %v", e.Rows)
+	}
+
+	sel := &core.Select{Input: scan, Cond: &core.Cmp{Op: "=", L: core.Col("p_brand"), R: core.LitStr("Brand#11")}}
+	se := est.Estimate(sel)
+	if se.Rows >= e.Rows || se.Rows <= 0 {
+		t.Errorf("brand selection rows = %v of %v", se.Rows, e.Rows)
+	}
+
+	join := &core.Join{
+		Left:  scanOf(t, cat, "partsupp"),
+		Right: scan,
+		Cond:  &core.Cmp{Op: "=", L: core.QCol("partsupp", "ps_partkey"), R: core.QCol("part", "p_partkey")},
+	}
+	je := est.Estimate(join)
+	// FK join: |partsupp ⋈ part| = |partsupp|.
+	if ratio := je.Rows / float64(sz.PartSupps); ratio < 0.5 || ratio > 2 {
+		t.Errorf("join rows = %v, want ≈ %d", je.Rows, sz.PartSupps)
+	}
+	if je.Cost <= se.Cost {
+		t.Error("join must cost more than a selection")
+	}
+}
+
+func TestEstimateGApplyUniformity(t *testing.T) {
+	cat := tinyCatalog(t)
+	est := NewEstimator(Collect(cat))
+	join := &core.Join{
+		Left:  scanOf(t, cat, "partsupp"),
+		Right: scanOf(t, cat, "part"),
+		Cond:  &core.Cmp{Op: "=", L: core.QCol("partsupp", "ps_partkey"), R: core.QCol("part", "p_partkey")},
+	}
+	pgq := &core.AggOp{Input: &core.GroupScan{Var: "g"}, Aggs: []core.AggSpec{{Fn: "avg", Arg: core.Col("p_retailprice"), As: "a"}}}
+	ga := core.NewGApply(join, []*core.ColRef{core.QCol("partsupp", "ps_suppkey")}, "g", pgq)
+	e := est.Estimate(ga)
+	suppliers := float64(tpch.SizesFor(0.001).Suppliers)
+	// One aggregate row per group ⇒ rows ≈ number of suppliers.
+	if e.Rows < suppliers*0.5 || e.Rows > suppliers*2 {
+		t.Errorf("GApply rows = %v, want ≈ %v", e.Rows, suppliers)
+	}
+	// The per-group query must be costed per group: total cost exceeds
+	// the outer cost alone.
+	outer := est.Estimate(join)
+	if e.Cost <= outer.Cost {
+		t.Errorf("GApply cost %v must exceed outer cost %v", e.Cost, outer.Cost)
+	}
+	// Sort partitioning costs differently from hash partitioning.
+	gaSort := core.NewGApply(join, []*core.ColRef{core.QCol("partsupp", "ps_suppkey")}, "g", pgq)
+	gaSort.Partition = core.PartitionSort
+	if est.Estimate(gaSort).Cost == e.Cost {
+		t.Error("partition strategies must cost differently")
+	}
+}
+
+func TestEstimateApplyCaching(t *testing.T) {
+	cat := tinyCatalog(t)
+	est := NewEstimator(Collect(cat))
+	outer := scanOf(t, cat, "supplier")
+	uncorr := &core.AggOp{Input: scanOf(t, cat, "part"), Aggs: []core.AggSpec{{Fn: "count", Star: true, As: "n"}}}
+	corr := &core.AggOp{
+		Input: &core.Select{
+			Input: scanOf(t, cat, "part"),
+			Cond:  &core.Cmp{Op: "=", L: core.Col("p_partkey"), R: &core.OuterRef{Name: "s_suppkey"}},
+		},
+		Aggs: []core.AggSpec{{Fn: "count", Star: true, As: "n"}},
+	}
+	cached := est.Estimate(&core.Apply{Outer: outer, Inner: uncorr})
+	reexec := est.Estimate(&core.Apply{Outer: outer, Inner: corr})
+	if cached.Cost >= reexec.Cost {
+		t.Errorf("uncorrelated apply (%v) must cost less than correlated (%v)", cached.Cost, reexec.Cost)
+	}
+}
+
+func TestEstimateSelectivityCombinators(t *testing.T) {
+	cat := tinyCatalog(t)
+	est := NewEstimator(Collect(cat))
+	scan := scanOf(t, cat, "part")
+	rows := est.Estimate(scan).Rows
+	eq := &core.Cmp{Op: "=", L: core.Col("p_brand"), R: core.LitStr("Brand#11")}
+	rng := &core.Cmp{Op: ">", L: core.Col("p_size"), R: core.LitInt(25)}
+	and := est.selectivity(&core.And{Ops: []core.Expr{eq, rng}}, rows)
+	or := est.selectivity(&core.Or{Ops: []core.Expr{eq, rng}}, rows)
+	not := est.selectivity(&core.Not{Op: eq}, rows)
+	seq := est.selectivity(eq, rows)
+	if and >= seq || and <= 0 {
+		t.Errorf("AND sel = %v vs %v", and, seq)
+	}
+	if or <= seq || or > 1 {
+		t.Errorf("OR sel = %v", or)
+	}
+	if not <= 0.5 {
+		t.Errorf("NOT of selective pred = %v", not)
+	}
+}

@@ -1,0 +1,132 @@
+package storage
+
+import (
+	"testing"
+
+	"gapplydb/internal/schema"
+	"gapplydb/internal/types"
+)
+
+func supplierDef() *schema.TableDef {
+	return &schema.TableDef{
+		Name: "supplier",
+		Schema: schema.New(
+			schema.Column{Name: "s_suppkey", Type: types.KindInt},
+			schema.Column{Name: "s_name", Type: types.KindString},
+		),
+		PrimaryKey: []string{"s_suppkey"},
+	}
+}
+
+func partsuppDef() *schema.TableDef {
+	return &schema.TableDef{
+		Name: "partsupp",
+		Schema: schema.New(
+			schema.Column{Name: "ps_suppkey", Type: types.KindInt},
+			schema.Column{Name: "ps_partkey", Type: types.KindInt},
+		),
+		PrimaryKey: []string{"ps_suppkey", "ps_partkey"},
+		ForeignKeys: []schema.ForeignKey{
+			{Cols: []string{"ps_suppkey"}, RefTable: "supplier", RefCols: []string{"s_suppkey"}},
+		},
+	}
+}
+
+func TestCreateLookupDrop(t *testing.T) {
+	c := NewCatalog()
+	if _, err := c.Create(supplierDef()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Create(supplierDef()); err == nil {
+		t.Error("duplicate create must fail")
+	}
+	tab, err := c.Lookup("SUPPLIER")
+	if err != nil {
+		t.Fatalf("case-insensitive lookup: %v", err)
+	}
+	// Creation qualifies columns with the table name.
+	if tab.Def.Schema.Cols[0].Table != "supplier" {
+		t.Errorf("columns not qualified: %v", tab.Def.Schema)
+	}
+	if _, err := c.Lookup("nosuch"); err == nil {
+		t.Error("unknown lookup must fail")
+	}
+	if err := c.Drop("supplier"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drop("supplier"); err == nil {
+		t.Error("double drop must fail")
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	c := NewCatalog()
+	tab, _ := c.Create(supplierDef())
+	if err := tab.Append(types.Row{types.NewInt(1), types.NewString("acme")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Append(types.Row{types.NewInt(1)}); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+	if err := tab.Append(types.Row{types.NewString("x"), types.NewString("y")}); err == nil {
+		t.Error("type mismatch must fail")
+	}
+	// NULL is allowed anywhere; numeric widening allowed.
+	if err := tab.Append(types.Row{types.Null, types.Null}); err != nil {
+		t.Errorf("NULLs rejected: %v", err)
+	}
+	if err := tab.Append(types.Row{types.NewFloat(2), types.NewString("b")}); err != nil {
+		t.Errorf("numeric widening rejected: %v", err)
+	}
+	if tab.Cardinality() != 3 {
+		t.Errorf("Cardinality = %d", tab.Cardinality())
+	}
+}
+
+func TestNames(t *testing.T) {
+	c := NewCatalog()
+	c.Create(partsuppDef())
+	c.Create(supplierDef())
+	got := c.Names()
+	if len(got) != 2 || got[0] != "partsupp" || got[1] != "supplier" {
+		t.Errorf("Names = %v", got)
+	}
+}
+
+func TestForeignKeys(t *testing.T) {
+	c := NewCatalog()
+	c.Create(supplierDef())
+	c.Create(partsuppDef())
+	if !c.HasForeignKey("partsupp", []string{"ps_suppkey"}, "supplier", []string{"s_suppkey"}) {
+		t.Error("declared FK not found")
+	}
+	if !c.HasForeignKey("PARTSUPP", []string{"PS_SUPPKEY"}, "SUPPLIER", []string{"S_SUPPKEY"}) {
+		t.Error("FK lookup must be case-insensitive")
+	}
+	if c.HasForeignKey("partsupp", []string{"ps_partkey"}, "supplier", []string{"s_suppkey"}) {
+		t.Error("wrong column must not match")
+	}
+	if c.HasForeignKey("supplier", []string{"s_suppkey"}, "partsupp", []string{"ps_suppkey"}) {
+		t.Error("FK direction matters")
+	}
+	if c.HasForeignKey("nosuch", []string{"a"}, "supplier", []string{"s_suppkey"}) {
+		t.Error("unknown table has no FKs")
+	}
+	if c.HasForeignKey("partsupp", nil, "supplier", nil) {
+		t.Error("empty column list is not an FK")
+	}
+}
+
+func TestIsPrimaryKey(t *testing.T) {
+	c := NewCatalog()
+	c.Create(partsuppDef())
+	if !c.IsPrimaryKey("partsupp", []string{"ps_partkey", "ps_suppkey"}) {
+		t.Error("full PK")
+	}
+	if c.IsPrimaryKey("partsupp", []string{"ps_partkey"}) {
+		t.Error("partial PK is not a key")
+	}
+	if c.IsPrimaryKey("nosuch", []string{"x"}) {
+		t.Error("unknown table")
+	}
+}

@@ -1,0 +1,132 @@
+package types
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+)
+
+// Row is a tuple of values. Operators share backing arrays where safe;
+// Clone when a row outlives its producer (e.g. materialized partitions).
+type Row []Value
+
+// Clone returns a copy of the row with fresh backing storage.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Concat returns the concatenation of r and s in a fresh row, the tuple
+// shape produced by joins and by GApply's cross product of grouping
+// values with per-group results.
+func (r Row) Concat(s Row) Row {
+	out := make(Row, 0, len(r)+len(s))
+	out = append(out, r...)
+	return append(out, s...)
+}
+
+// Project returns the row restricted to the given column ordinals.
+func (r Row) Project(cols []int) Row {
+	out := make(Row, len(cols))
+	for i, c := range cols {
+		out[i] = r[c]
+	}
+	return out
+}
+
+// Identical reports column-wise Identical equality (NULLs match NULLs),
+// the equality used by DISTINCT and by grouping.
+func (r Row) Identical(s Row) bool {
+	if len(r) != len(s) {
+		return false
+	}
+	for i := range r {
+		if !Identical(r[i], s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Hash folds the listed columns into a hash value.
+func (r Row) Hash(cols []int) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range cols {
+		h = r[c].Hash(h)
+	}
+	return h
+}
+
+// Key renders the listed columns into a canonical string usable as a Go
+// map key for grouping and duplicate elimination. Values that are
+// Identical produce identical keys: numeric values are canonicalized to
+// their float64 image, which is exact for TPC-H-scale integers.
+func (r Row) Key(cols []int) string {
+	var b strings.Builder
+	var buf [9]byte
+	for _, c := range cols {
+		v := r[c]
+		switch v.K {
+		case KindNull:
+			buf[0] = 0
+			b.Write(buf[:1])
+		case KindInt:
+			buf[0] = 1
+			binary.LittleEndian.PutUint64(buf[1:], math.Float64bits(float64(v.I)))
+			b.Write(buf[:9])
+		case KindFloat:
+			buf[0] = 1
+			binary.LittleEndian.PutUint64(buf[1:], math.Float64bits(v.F))
+			b.Write(buf[:9])
+		case KindString:
+			buf[0] = 2
+			binary.LittleEndian.PutUint64(buf[1:], uint64(len(v.S)))
+			b.Write(buf[:9])
+			b.WriteString(v.S)
+		case KindBool:
+			buf[0] = 3
+			buf[1] = byte(v.I)
+			b.Write(buf[:2])
+		case KindDate:
+			buf[0] = 4
+			binary.LittleEndian.PutUint64(buf[1:], uint64(v.I))
+			b.Write(buf[:9])
+		}
+	}
+	return b.String()
+}
+
+// KeyAll renders every column; used when whole rows must be deduplicated.
+func (r Row) KeyAll() string {
+	cols := make([]int, len(r))
+	for i := range cols {
+		cols[i] = i
+	}
+	return r.Key(cols)
+}
+
+// String renders the row for debugging and the result printer.
+func (r Row) String() string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// CompareRows orders two rows by the listed columns with per-column
+// direction (true = descending). Used by Sort and merge paths.
+func CompareRows(a, b Row, cols []int, desc []bool) int {
+	for i, c := range cols {
+		cmp := SortCompare(a[c], b[c])
+		if cmp == 0 {
+			continue
+		}
+		if desc != nil && i < len(desc) && desc[i] {
+			return -cmp
+		}
+		return cmp
+	}
+	return 0
+}

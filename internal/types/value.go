@@ -1,0 +1,385 @@
+// Package types defines the value model of the engine: SQL-style dynamically
+// typed scalar values with NULL, three-valued logic for predicates, total
+// ordering for sorting and hashing for partitioning.
+//
+// The representation is deliberately compact (one small struct, no pointers
+// except for strings) because the GApply executor moves large numbers of
+// values through partition tables.
+package types
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates the scalar types the engine supports. The paper's
+// workload (TPC-H publishing) needs integers, decimals and strings; BOOL
+// exists for predicate results and DATE is carried as an ordered integer
+// (days since epoch) with its own render form.
+type Kind uint8
+
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+	KindDate
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "VARCHAR"
+	case KindBool:
+		return "BOOL"
+	case KindDate:
+		return "DATE"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Numeric reports whether values of this kind participate in arithmetic.
+func (k Kind) Numeric() bool { return k == KindInt || k == KindFloat }
+
+// Value is a single SQL value. The zero Value is NULL.
+type Value struct {
+	K Kind
+	I int64   // INT, BOOL (0/1), DATE (days)
+	F float64 // FLOAT
+	S string  // VARCHAR
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// NewInt returns an INT value.
+func NewInt(i int64) Value { return Value{K: KindInt, I: i} }
+
+// NewFloat returns a FLOAT value.
+func NewFloat(f float64) Value { return Value{K: KindFloat, F: f} }
+
+// NewString returns a VARCHAR value.
+func NewString(s string) Value { return Value{K: KindString, S: s} }
+
+// NewBool returns a BOOL value.
+func NewBool(b bool) Value {
+	v := Value{K: KindBool}
+	if b {
+		v.I = 1
+	}
+	return v
+}
+
+// NewDate returns a DATE value holding days since an arbitrary epoch.
+func NewDate(days int64) Value { return Value{K: KindDate, I: days} }
+
+// IsNull reports whether v is SQL NULL.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// Bool returns the truth value of a BOOL; NULL and non-bool are false.
+func (v Value) Bool() bool { return v.K == KindBool && v.I != 0 }
+
+// Int returns the integer payload (valid for INT, BOOL, DATE).
+func (v Value) Int() int64 { return v.I }
+
+// Float returns the value coerced to float64. INT and DATE widen; other
+// kinds return 0. Use Kind checks before calling when exactness matters.
+func (v Value) Float() float64 {
+	switch v.K {
+	case KindFloat:
+		return v.F
+	case KindInt, KindBool, KindDate:
+		return float64(v.I)
+	default:
+		return 0
+	}
+}
+
+// Str returns the string payload.
+func (v Value) Str() string { return v.S }
+
+// String renders the value the way the result printer and tagger show it.
+func (v Value) String() string {
+	switch v.K {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	case KindBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	case KindDate:
+		return fmt.Sprintf("date(%d)", v.I)
+	default:
+		return fmt.Sprintf("Value(kind=%d)", uint8(v.K))
+	}
+}
+
+// SQLLiteral renders the value as a SQL literal (strings quoted).
+func (v Value) SQLLiteral() string {
+	if v.K == KindString {
+		return "'" + v.S + "'"
+	}
+	return v.String()
+}
+
+// Tri is SQL three-valued logic.
+type Tri uint8
+
+const (
+	False Tri = iota
+	True
+	Unknown
+)
+
+// String renders the truth value.
+func (t Tri) String() string {
+	switch t {
+	case True:
+		return "true"
+	case False:
+		return "false"
+	default:
+		return "unknown"
+	}
+}
+
+// TriOf lifts a Go bool into Tri.
+func TriOf(b bool) Tri {
+	if b {
+		return True
+	}
+	return False
+}
+
+// And is three-valued conjunction.
+func (t Tri) And(o Tri) Tri {
+	if t == False || o == False {
+		return False
+	}
+	if t == Unknown || o == Unknown {
+		return Unknown
+	}
+	return True
+}
+
+// Or is three-valued disjunction.
+func (t Tri) Or(o Tri) Tri {
+	if t == True || o == True {
+		return True
+	}
+	if t == Unknown || o == Unknown {
+		return Unknown
+	}
+	return False
+}
+
+// Not is three-valued negation.
+func (t Tri) Not() Tri {
+	switch t {
+	case True:
+		return False
+	case False:
+		return True
+	default:
+		return Unknown
+	}
+}
+
+// Value converts the truth value to a SQL value (Unknown ⇒ NULL).
+func (t Tri) Value() Value {
+	switch t {
+	case True:
+		return NewBool(true)
+	case False:
+		return NewBool(false)
+	default:
+		return Null
+	}
+}
+
+// comparable pairs: numeric/numeric (with widening), string/string,
+// bool/bool, date/date. Compare returns -1, 0, +1. If either side is NULL
+// or the kinds are incomparable the second return is false; predicates
+// must then evaluate to Unknown.
+func Compare(a, b Value) (int, bool) {
+	if a.IsNull() || b.IsNull() {
+		return 0, false
+	}
+	switch {
+	case a.K.Numeric() && b.K.Numeric():
+		if a.K == KindInt && b.K == KindInt {
+			switch {
+			case a.I < b.I:
+				return -1, true
+			case a.I > b.I:
+				return 1, true
+			}
+			return 0, true
+		}
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		}
+		return 0, true
+	case a.K == KindString && b.K == KindString:
+		switch {
+		case a.S < b.S:
+			return -1, true
+		case a.S > b.S:
+			return 1, true
+		}
+		return 0, true
+	case a.K == KindBool && b.K == KindBool, a.K == KindDate && b.K == KindDate:
+		switch {
+		case a.I < b.I:
+			return -1, true
+		case a.I > b.I:
+			return 1, true
+		}
+		return 0, true
+	default:
+		return 0, false
+	}
+}
+
+// SortCompare is a total order used by ORDER BY and sort-based
+// partitioning: NULL sorts first, then by kind for incomparable kinds,
+// then by Compare.
+func SortCompare(a, b Value) int {
+	an, bn := a.IsNull(), b.IsNull()
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
+	}
+	if c, ok := Compare(a, b); ok {
+		return c
+	}
+	// Incomparable kinds: order by kind tag so sorting is still total.
+	switch {
+	case a.K < b.K:
+		return -1
+	case a.K > b.K:
+		return 1
+	}
+	return 0
+}
+
+// Identical reports whether two values are the same for grouping and
+// DISTINCT purposes (NULLs group together, unlike predicate equality).
+func Identical(a, b Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return a.IsNull() && b.IsNull()
+	}
+	c, ok := Compare(a, b)
+	return ok && c == 0
+}
+
+// Hash folds the value into an FNV-1a style hash, seeding with h. Values
+// that are Identical hash identically (INT 2 and FLOAT 2.0 compare equal,
+// so both hash through the float path when fractional information is
+// absent).
+func (v Value) Hash(h uint64) uint64 {
+	const prime = 1099511628211
+	mix := func(h uint64, b byte) uint64 { return (h ^ uint64(b)) * prime }
+	mix64 := func(h uint64, x uint64) uint64 {
+		for i := 0; i < 8; i++ {
+			h = mix(h, byte(x>>(8*i)))
+		}
+		return h
+	}
+	switch v.K {
+	case KindNull:
+		return mix(h, 1)
+	case KindInt:
+		return mix64(mix(h, 2), math.Float64bits(float64(v.I)))
+	case KindFloat:
+		return mix64(mix(h, 2), math.Float64bits(v.F))
+	case KindString:
+		h = mix(h, 3)
+		for i := 0; i < len(v.S); i++ {
+			h = mix(h, v.S[i])
+		}
+		return h
+	case KindBool:
+		return mix64(mix(h, 4), uint64(v.I))
+	case KindDate:
+		return mix64(mix(h, 5), uint64(v.I))
+	default:
+		return mix(h, 0xff)
+	}
+}
+
+// Add returns a+b with SQL NULL propagation and numeric widening.
+func Add(a, b Value) (Value, error) { return arith(a, b, '+') }
+
+// Sub returns a-b.
+func Sub(a, b Value) (Value, error) { return arith(a, b, '-') }
+
+// Mul returns a*b.
+func Mul(a, b Value) (Value, error) { return arith(a, b, '*') }
+
+// Div returns a/b; integer division truncates, division by zero errors.
+func Div(a, b Value) (Value, error) { return arith(a, b, '/') }
+
+func arith(a, b Value, op byte) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	if !a.K.Numeric() || !b.K.Numeric() {
+		return Null, fmt.Errorf("types: cannot apply %c to %s and %s", op, a.K, b.K)
+	}
+	if a.K == KindInt && b.K == KindInt {
+		switch op {
+		case '+':
+			return NewInt(a.I + b.I), nil
+		case '-':
+			return NewInt(a.I - b.I), nil
+		case '*':
+			return NewInt(a.I * b.I), nil
+		case '/':
+			if b.I == 0 {
+				return Null, fmt.Errorf("types: division by zero")
+			}
+			return NewInt(a.I / b.I), nil
+		}
+	}
+	af, bf := a.Float(), b.Float()
+	switch op {
+	case '+':
+		return NewFloat(af + bf), nil
+	case '-':
+		return NewFloat(af - bf), nil
+	case '*':
+		return NewFloat(af * bf), nil
+	case '/':
+		if bf == 0 {
+			return Null, fmt.Errorf("types: division by zero")
+		}
+		return NewFloat(af / bf), nil
+	}
+	return Null, fmt.Errorf("types: unknown operator %c", op)
+}

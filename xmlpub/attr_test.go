@@ -1,0 +1,90 @@
+package xmlpub
+
+import (
+	"strings"
+	"testing"
+)
+
+// attrView maps p_name to an attribute on the child element — the
+// paper's "relational attributes can be mapped to sub-elements or
+// attributes".
+func attrView() *View {
+	v := TPCHSupplierView()
+	v.ChildFields = []Field{
+		{Col: "p_name", Tag: "name", Attr: true},
+		{Col: "p_retailprice", Tag: "retailprice"},
+	}
+	return v
+}
+
+func TestAttributeMappingBothStrategies(t *testing.T) {
+	db := fixtureDB(t)
+	q := &FLWR{
+		View: attrView(),
+		Return: []Item{
+			{Kind: ItemChildList, Tag: "part"},
+			{Kind: ItemAgg, Tag: "avgprice", Agg: &AggRef{Fn: "avg", Col: "p_retailprice"}},
+		},
+	}
+	ga := publish(t, db, q, GApply)
+	sou := publish(t, db, q, SortedOuterUnion)
+	if ga != sou {
+		t.Errorf("strategies disagree:\n%s\nvs\n%s", ga, sou)
+	}
+	if !strings.Contains(ga, `<part name="bolt"><retailprice>10</retailprice></part>`) {
+		t.Errorf("attribute mapping missing:\n%s", ga)
+	}
+	if err := checkWellFormed(ga); err != nil {
+		t.Errorf("not well-formed: %v\n%s", err, ga)
+	}
+}
+
+func TestAttributeEscaping(t *testing.T) {
+	plan := &TagPlan{RootTag: "r", ElemTag: "e", KeyTag: "k",
+		Branches: []BranchPlan{{
+			Wrap: "c",
+			Fields: []FieldSlot{
+				{Ordinal: 2, Tag: "a", Attr: true},
+				{Ordinal: 3, Tag: "v"},
+			},
+		}}}
+	var b strings.Builder
+	rows := [][]any{{int64(1), int64(0), `x<"&y`, "body"}}
+	if err := TagAll(plan, rows, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if err := checkWellFormed(out); err != nil {
+		t.Fatalf("not well-formed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "x&lt;") || strings.Contains(out, `x<"`) {
+		t.Errorf("attribute not escaped:\n%s", out)
+	}
+	// NULL attributes are simply omitted.
+	b.Reset()
+	if err := TagAll(plan, [][]any{{int64(1), int64(0), nil, "body"}}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "a=") {
+		t.Errorf("NULL attribute emitted:\n%s", b.String())
+	}
+}
+
+func TestAttrOnScalarBranchIgnored(t *testing.T) {
+	// Attr only makes sense on wrapped (child list) branches; the plan
+	// builder clears it elsewhere.
+	q := &FLWR{
+		View: attrView(),
+		Return: []Item{
+			{Kind: ItemAgg, Tag: "avgprice", Agg: &AggRef{Fn: "avg", Col: "p_retailprice"}},
+		},
+	}
+	plan := q.TagPlan()
+	for _, bp := range plan.Branches {
+		for _, f := range bp.Fields {
+			if f.Attr {
+				t.Errorf("scalar branch field marked Attr: %+v", f)
+			}
+		}
+	}
+}

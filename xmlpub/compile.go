@@ -1,0 +1,193 @@
+package xmlpub
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TagPlan tells the tagger how to interpret the (key, branch, slots...)
+// row layout both translation strategies emit.
+type TagPlan struct {
+	RootTag string
+	ElemTag string
+	KeyTag  string
+	// Branches is indexed by the branch id in column 1.
+	Branches []BranchPlan
+}
+
+// BranchPlan describes one branch's content.
+type BranchPlan struct {
+	// Wrap is the wrapping element for list branches ("" for scalars).
+	Wrap string
+	// Fields are (absolute column ordinal, tag) pairs.
+	Fields []FieldSlot
+}
+
+// FieldSlot locates one emitted field in the row.
+type FieldSlot struct {
+	Ordinal int
+	Tag     string
+	// Attr publishes the value as an attribute of the wrapping element.
+	Attr bool
+}
+
+// layout computes each item's slot offsets (slots start at column 2).
+func (q *FLWR) layout() ([]int, int) {
+	offsets := make([]int, len(q.Return))
+	next := 0
+	for i, it := range q.Return {
+		offsets[i] = next
+		next += len(it.fields(q.View))
+	}
+	return offsets, next
+}
+
+// TagPlan builds the tagging plan shared by both strategies.
+func (q *FLWR) TagPlan() *TagPlan {
+	offsets, _ := q.layout()
+	plan := &TagPlan{RootTag: q.View.RootTag, ElemTag: q.View.ElemTag, KeyTag: q.View.KeyTag}
+	for i, it := range q.Return {
+		bp := BranchPlan{}
+		if it.Kind == ItemChildList {
+			bp.Wrap = it.Tag
+		}
+		for j, f := range it.fields(q.View) {
+			bp.Fields = append(bp.Fields, FieldSlot{Ordinal: 2 + offsets[i] + j, Tag: f.Tag, Attr: f.Attr && bp.Wrap != ""})
+		}
+		plan.Branches = append(plan.Branches, bp)
+	}
+	return plan
+}
+
+// slotExprs renders the slot list for branch i: the item's own columns
+// (or aggregate expression) in its slots, NULL everywhere else.
+func (q *FLWR) slotExprs(i int, own []string) string {
+	offsets, total := q.layout()
+	slots := make([]string, total)
+	for k := range slots {
+		slots[k] = "null"
+	}
+	for j, e := range own {
+		slots[offsets[i]+j] = e
+	}
+	return strings.Join(slots, ", ")
+}
+
+// aggSubquery renders "(select fn(col) from <src>)" with optional scale.
+func aggSubquery(a AggRef, src string) string {
+	return a.scaleSQL(fmt.Sprintf("(select %s(%s) from %s)", a.Fn, a.Col, src))
+}
+
+// GApplySQL translates the query into the paper's extended syntax: one
+// join, grouped on the key, with a per-group query holding one union
+// branch per return item. Output layout: key, branch, slots.
+func (q *FLWR) GApplySQL() string {
+	v := q.View
+	const gv = "g"
+	var branches []string
+	for i, it := range q.Return {
+		var conds []string
+		var own []string
+		switch it.Kind {
+		case ItemChildList:
+			for _, f := range v.ChildFields {
+				own = append(own, f.Col)
+			}
+			if it.FilterCol != "" {
+				conds = append(conds, fmt.Sprintf("%s %s %s", it.FilterCol, it.FilterOp, aggSubquery(*it.FilterAgg, gv)))
+			}
+		case ItemAgg:
+			own = []string{fmt.Sprintf("%s(%s)", it.Agg.Fn, it.Agg.Col)}
+		case ItemFilteredCount:
+			own = []string{"count(*)"}
+			conds = append(conds, fmt.Sprintf("%s %s %s", it.FilterCol, it.FilterOp, aggSubquery(*it.FilterAgg, gv)))
+		}
+		if q.Where != nil {
+			conds = append(conds, q.whereCondOverGroup(gv))
+		}
+		where := ""
+		if len(conds) > 0 {
+			where = " where " + strings.Join(conds, " and ")
+		}
+		branches = append(branches, fmt.Sprintf("select %d, %s from %s%s", i, q.slotExprs(i, own), gv, where))
+	}
+	return fmt.Sprintf("select gapply(%s) from %s where %s group by %s : %s",
+		strings.Join(branches, " union all "),
+		strings.Join(v.Tables, ", "), v.JoinCond, v.KeyCol, gv)
+}
+
+// whereCondOverGroup renders the subtree predicate against the group
+// variable.
+func (q *FLWR) whereCondOverGroup(gv string) string {
+	switch q.Where.Kind {
+	case PredExists:
+		return fmt.Sprintf("exists (select %s from %s where %s)", q.View.KeyCol, gv, q.Where.Cond)
+	default: // PredAggregate
+		return fmt.Sprintf("%s %s %g", aggSubquery(q.Where.Agg, gv), q.Where.CmpOp, q.Where.Lit)
+	}
+}
+
+// SortedOuterUnionSQL translates the query into the classic strategy:
+// each return item becomes one select over the full view join (the
+// redundancy §2 identifies), subtree aggregates become correlated
+// subqueries over another copy of the join, and the union is ordered by
+// the key for the constant-space tagger.
+func (q *FLWR) SortedOuterUnionSQL() string {
+	v := q.View
+	// Alias the key-owning table so correlated subqueries can reach it.
+	const outerAlias = "__o"
+	fromAliased := outerAlias
+	{
+		parts := make([]string, len(v.Tables))
+		for i, t := range v.Tables {
+			if i == 0 {
+				parts[i] = t + " " + outerAlias
+			} else {
+				parts[i] = t
+			}
+		}
+		fromAliased = strings.Join(parts, ", ")
+	}
+	fromPlain := strings.Join(v.Tables, ", ")
+	key := outerAlias + "." + v.KeyCol
+	corrSrc := func() string {
+		return fmt.Sprintf("%s where %s and %s = %s", fromPlain, v.JoinCond, v.KeyCol, key)
+	}
+	corrAgg := func(a AggRef) string {
+		return a.scaleSQL(fmt.Sprintf("(select %s(%s) from %s)", a.Fn, a.Col, corrSrc()))
+	}
+
+	var branches []string
+	for i, it := range q.Return {
+		var conds = []string{v.JoinCond}
+		var own []string
+		groupBy := ""
+		switch it.Kind {
+		case ItemChildList:
+			for _, f := range v.ChildFields {
+				own = append(own, f.Col)
+			}
+			if it.FilterCol != "" {
+				conds = append(conds, fmt.Sprintf("%s %s %s", it.FilterCol, it.FilterOp, corrAgg(*it.FilterAgg)))
+			}
+		case ItemAgg:
+			own = []string{fmt.Sprintf("%s(%s)", it.Agg.Fn, it.Agg.Col)}
+			groupBy = fmt.Sprintf(" group by %s", key)
+		case ItemFilteredCount:
+			own = []string{"count(*)"}
+			conds = append(conds, fmt.Sprintf("%s %s %s", it.FilterCol, it.FilterOp, corrAgg(*it.FilterAgg)))
+			groupBy = fmt.Sprintf(" group by %s", key)
+		}
+		if q.Where != nil {
+			switch q.Where.Kind {
+			case PredExists:
+				conds = append(conds, fmt.Sprintf("exists (select %s from %s and %s)", v.KeyCol, corrSrc(), q.Where.Cond))
+			default:
+				conds = append(conds, fmt.Sprintf("%s %s %g", corrAgg(q.Where.Agg), q.Where.CmpOp, q.Where.Lit))
+			}
+		}
+		branches = append(branches, fmt.Sprintf("select %s, %d, %s from %s where %s%s",
+			key, i, q.slotExprs(i, own), fromAliased, strings.Join(conds, " and "), groupBy))
+	}
+	return fmt.Sprintf("(%s) order by %s", strings.Join(branches, " union all "), v.KeyCol)
+}

@@ -1,0 +1,54 @@
+package xmlpub
+
+import (
+	"fmt"
+	"io"
+
+	"gapplydb"
+)
+
+// Strategy selects the server translation.
+type Strategy int
+
+const (
+	// GApply pushes the query as one extended-syntax statement; the
+	// GApply operator clusters output by construction.
+	GApply Strategy = iota
+	// SortedOuterUnion pushes the classic one-union-branch-per-section
+	// SQL with a trailing ORDER BY (the "sorting and tagging" baseline
+	// of the paper's title).
+	SortedOuterUnion
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	if s == GApply {
+		return "gapply"
+	}
+	return "sorted-outer-union"
+}
+
+// SQL returns the statement the strategy sends to the server.
+func (q *FLWR) SQL(s Strategy) string {
+	if s == GApply {
+		return q.GApplySQL()
+	}
+	return q.SortedOuterUnionSQL()
+}
+
+// Publish runs the query against the database with the chosen strategy
+// and streams the published XML to w. It returns the executed result
+// (for timing and counters) alongside any error.
+func Publish(db *gapplydb.Database, q *FLWR, s Strategy, w io.Writer, opts ...gapplydb.QueryOption) (*gapplydb.Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	res, err := db.Query(q.SQL(s), opts...)
+	if err != nil {
+		return nil, fmt.Errorf("xmlpub: %s strategy failed: %w", s, err)
+	}
+	if err := TagAll(q.TagPlan(), res.Rows, w); err != nil {
+		return res, err
+	}
+	return res, nil
+}

@@ -1,0 +1,180 @@
+package xmlpub
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Tagger assembles XML from rows in (key, branch, slots...) layout. It
+// is the paper's constant-space middleware tagger: it holds only the
+// current element's key, which is why both translation strategies must
+// deliver rows clustered by key — the sorted outer union via ORDER BY,
+// GApply by the semantics of its partition phase.
+type Tagger struct {
+	plan *TagPlan
+	w    io.Writer
+
+	started bool
+	curKey  string
+	err     error
+}
+
+// NewTagger starts a document on w.
+func NewTagger(plan *TagPlan, w io.Writer) *Tagger {
+	return &Tagger{plan: plan, w: w}
+}
+
+func (t *Tagger) printf(format string, args ...any) {
+	if t.err != nil {
+		return
+	}
+	_, t.err = fmt.Fprintf(t.w, format, args...)
+}
+
+func (t *Tagger) escaped(v any) string {
+	var buf []byte
+	switch x := v.(type) {
+	case nil:
+		return ""
+	case string:
+		var b []byte
+		b = append(b, x...)
+		out := make([]byte, 0, len(b))
+		w := &sliceWriter{&out}
+		xml.EscapeText(w, b)
+		return string(out)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case bool:
+		return strconv.FormatBool(x)
+	default:
+		buf = append(buf, fmt.Sprint(x)...)
+		out := make([]byte, 0, len(buf))
+		xml.EscapeText(&sliceWriter{&out}, buf)
+		return string(out)
+	}
+}
+
+type sliceWriter struct{ b *[]byte }
+
+func (s *sliceWriter) Write(p []byte) (int, error) {
+	*s.b = append(*s.b, p...)
+	return len(p), nil
+}
+
+// Row consumes one result row. Rows must arrive clustered by key.
+func (t *Tagger) Row(row []any) error {
+	if t.err != nil {
+		return t.err
+	}
+	if len(row) < 2 {
+		t.err = fmt.Errorf("xmlpub: row needs at least key and branch columns, got %d", len(row))
+		return t.err
+	}
+	if !t.started {
+		t.printf("<%s>\n", t.plan.RootTag)
+		t.started = true
+		t.curKey = ""
+	}
+	key := t.escaped(row[0])
+	if t.curKey == "" || key != t.curKey {
+		if t.curKey != "" {
+			t.printf("  </%s>\n", t.plan.ElemTag)
+		}
+		t.curKey = key
+		t.printf("  <%s>\n", t.plan.ElemTag)
+		t.printf("    <%s>%s</%s>\n", t.plan.KeyTag, key, t.plan.KeyTag)
+	}
+	branch, ok := asInt(row[1])
+	if !ok || branch < 0 || int(branch) >= len(t.plan.Branches) {
+		t.err = fmt.Errorf("xmlpub: bad branch id %v", row[1])
+		return t.err
+	}
+	bp := t.plan.Branches[branch]
+	if bp.Wrap != "" {
+		// Attributes go into the opening tag; elements follow as content.
+		t.printf("    <%s", bp.Wrap)
+		for _, f := range bp.Fields {
+			if !f.Attr {
+				continue
+			}
+			if f.Ordinal >= len(row) {
+				t.err = fmt.Errorf("xmlpub: field ordinal %d out of range (%d columns)", f.Ordinal, len(row))
+				return t.err
+			}
+			if v := row[f.Ordinal]; v != nil {
+				t.printf(" %s=%q", f.Tag, t.escaped(v))
+			}
+		}
+		t.printf(">")
+		for _, f := range bp.Fields {
+			if f.Attr {
+				continue
+			}
+			t.emitField(f, row, "")
+		}
+		t.printf("</%s>\n", bp.Wrap)
+	} else {
+		for _, f := range bp.Fields {
+			t.printf("    ")
+			t.emitField(f, row, "\n")
+		}
+	}
+	return t.err
+}
+
+func (t *Tagger) emitField(f FieldSlot, row []any, suffix string) {
+	if f.Ordinal >= len(row) {
+		t.err = fmt.Errorf("xmlpub: field ordinal %d out of range (%d columns)", f.Ordinal, len(row))
+		return
+	}
+	v := row[f.Ordinal]
+	if v == nil {
+		t.printf("<%s/>%s", f.Tag, suffix)
+		return
+	}
+	t.printf("<%s>%s</%s>%s", f.Tag, t.escaped(v), f.Tag, suffix)
+}
+
+func asInt(v any) (int64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return x, true
+	case int:
+		return int64(x), true
+	case float64:
+		return int64(x), true
+	default:
+		return 0, false
+	}
+}
+
+// Close ends the document.
+func (t *Tagger) Close() error {
+	if t.err != nil {
+		return t.err
+	}
+	if !t.started {
+		t.printf("<%s>\n", t.plan.RootTag)
+		t.started = true
+	} else if t.curKey != "" {
+		t.printf("  </%s>\n", t.plan.ElemTag)
+	}
+	t.printf("</%s>\n", t.plan.RootTag)
+	return t.err
+}
+
+// TagAll runs a full row set through a fresh tagger.
+func TagAll(plan *TagPlan, rows [][]any, w io.Writer) error {
+	tg := NewTagger(plan, w)
+	for _, r := range rows {
+		if err := tg.Row(r); err != nil {
+			return err
+		}
+	}
+	return tg.Close()
+}

@@ -1,0 +1,22 @@
+package xmlpub
+
+import (
+	"encoding/xml"
+	"errors"
+	"io"
+	"strings"
+)
+
+// checkWellFormed runs the stdlib XML decoder over the document.
+func checkWellFormed(doc string) error {
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+	}
+}

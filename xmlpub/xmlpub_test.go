@@ -1,0 +1,255 @@
+package xmlpub
+
+import (
+	"strings"
+	"testing"
+
+	"gapplydb"
+)
+
+// fixtureDB builds the canonical tiny catalog through the public API.
+func fixtureDB(t *testing.T) *gapplydb.Database {
+	t.Helper()
+	db := gapplydb.Open()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(db.CreateTable("supplier",
+		[]gapplydb.Column{{Name: "s_suppkey", Type: "int"}, {Name: "s_name", Type: "string"}},
+		[]string{"s_suppkey"}))
+	must(db.CreateTable("part",
+		[]gapplydb.Column{
+			{Name: "p_partkey", Type: "int"}, {Name: "p_name", Type: "string"},
+			{Name: "p_retailprice", Type: "float"}, {Name: "p_brand", Type: "string"}},
+		[]string{"p_partkey"}))
+	must(db.CreateTable("partsupp",
+		[]gapplydb.Column{{Name: "ps_partkey", Type: "int"}, {Name: "ps_suppkey", Type: "int"}},
+		[]string{"ps_partkey", "ps_suppkey"},
+		gapplydb.ForeignKey{Columns: []string{"ps_partkey"}, RefTable: "part", RefColumns: []string{"p_partkey"}},
+		gapplydb.ForeignKey{Columns: []string{"ps_suppkey"}, RefTable: "supplier", RefColumns: []string{"s_suppkey"}}))
+	must(db.Insert("supplier", []any{1, "alpha"}, []any{2, "beta"}))
+	must(db.Insert("part",
+		[]any{1, "bolt", 10.0, "Brand#A"},
+		[]any{2, "nut", 20.0, "Brand#B"},
+		[]any{3, "washer", 30.0, "Brand#A"},
+		[]any{4, "screw", 40.0, "Brand#B"}))
+	must(db.Insert("partsupp",
+		[]any{1, 1}, []any{2, 1}, []any{3, 1}, []any{3, 2}, []any{4, 2}))
+	db.RefreshStats()
+	return db
+}
+
+func publish(t *testing.T, db *gapplydb.Database, q *FLWR, s Strategy) string {
+	t.Helper()
+	var b strings.Builder
+	if _, err := Publish(db, q, s, &b); err != nil {
+		t.Fatalf("%s: %v\nSQL: %s", s, err, q.SQL(s))
+	}
+	return b.String()
+}
+
+func TestQ1BothStrategiesProduceSameXML(t *testing.T) {
+	db := fixtureDB(t)
+	q := Q1()
+	ga := publish(t, db, q, GApply)
+	sou := publish(t, db, q, SortedOuterUnion)
+	if ga != sou {
+		t.Errorf("strategies disagree:\n--- gapply ---\n%s\n--- sorted outer union ---\n%s", ga, sou)
+	}
+	for _, want := range []string{
+		"<suppliers>", "<supplier>", "<suppkey>1</suppkey>",
+		"<part><name>bolt</name><retailprice>10</retailprice></part>",
+		"<avgprice>20</avgprice>", "<avgprice>35</avgprice>", "</suppliers>",
+	} {
+		if !strings.Contains(ga, want) {
+			t.Errorf("missing %q in:\n%s", want, ga)
+		}
+	}
+}
+
+func TestQ2BothStrategiesAgree(t *testing.T) {
+	db := fixtureDB(t)
+	q := Q2()
+	ga := publish(t, db, q, GApply)
+	sou := publish(t, db, q, SortedOuterUnion)
+	if ga != sou {
+		t.Errorf("strategies disagree:\n%s\nvs\n%s", ga, sou)
+	}
+	// Supplier 1: prices 10,20,30, avg 20 → 2 at/above, 1 below.
+	if !strings.Contains(ga, "<count_above>2</count_above>") ||
+		!strings.Contains(ga, "<count_below>1</count_below>") {
+		t.Errorf("Q2 counts wrong:\n%s", ga)
+	}
+}
+
+func TestQ3FiltersByMaxAndMin(t *testing.T) {
+	db := fixtureDB(t)
+	q := Q3(0.9, 1.5)
+	ga := publish(t, db, q, GApply)
+	sou := publish(t, db, q, SortedOuterUnion)
+	if ga != sou {
+		t.Errorf("strategies disagree:\n%s\nvs\n%s", ga, sou)
+	}
+	// Supplier 1 (10,20,30): high-end ≥ 27 → washer; low-end ≤ 15 → bolt.
+	if !strings.Contains(ga, "<highend><name>washer</name>") {
+		t.Errorf("high-end missing:\n%s", ga)
+	}
+	if !strings.Contains(ga, "<lowend><name>bolt</name>") {
+		t.Errorf("low-end missing:\n%s", ga)
+	}
+}
+
+func TestGroupSelectionExistsPublish(t *testing.T) {
+	db := fixtureDB(t)
+	q := ExpensiveSuppliers(35)
+	ga := publish(t, db, q, GApply)
+	sou := publish(t, db, q, SortedOuterUnion)
+	if ga != sou {
+		t.Errorf("strategies disagree:\n%s\nvs\n%s", ga, sou)
+	}
+	// Only supplier 2 has a part > 35.
+	if strings.Contains(ga, "<suppkey>1</suppkey>") {
+		t.Errorf("supplier 1 must be filtered out:\n%s", ga)
+	}
+	if !strings.Contains(ga, "<suppkey>2</suppkey>") {
+		t.Errorf("supplier 2 missing:\n%s", ga)
+	}
+}
+
+func TestGroupSelectionAggregatePublish(t *testing.T) {
+	db := fixtureDB(t)
+	q := RichSuppliers(25)
+	ga := publish(t, db, q, GApply)
+	sou := publish(t, db, q, SortedOuterUnion)
+	if ga != sou {
+		t.Errorf("strategies disagree:\n%s\nvs\n%s", ga, sou)
+	}
+	// Supplier 2's avg is 35 > 25; supplier 1's is 20.
+	if strings.Contains(ga, "<suppkey>1</suppkey>") || !strings.Contains(ga, "<suppkey>2</suppkey>") {
+		t.Errorf("aggregate selection wrong:\n%s", ga)
+	}
+}
+
+func TestGApplySQLShape(t *testing.T) {
+	q := Q2()
+	sql := q.GApplySQL()
+	for _, want := range []string{"gapply(", "group by ps_suppkey : g", "union all", "count(*)"} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("GApply SQL missing %q:\n%s", want, sql)
+		}
+	}
+	sou := q.SortedOuterUnionSQL()
+	for _, want := range []string{"order by ps_suppkey", "__o.ps_suppkey", "union all"} {
+		if !strings.Contains(sou, want) {
+			t.Errorf("SOU SQL missing %q:\n%s", want, sou)
+		}
+	}
+	if Strategy(GApply).String() != "gapply" || SortedOuterUnion.String() != "sorted-outer-union" {
+		t.Error("strategy names")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (&FLWR{}).Validate(); err == nil {
+		t.Error("empty query must fail")
+	}
+	v := TPCHSupplierView()
+	if err := (&FLWR{View: v}).Validate(); err == nil {
+		t.Error("no return items must fail")
+	}
+	bad := &FLWR{View: v, Return: []Item{{Kind: ItemAgg, Tag: "x"}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("aggregate item without aggregate must fail")
+	}
+	bad2 := &FLWR{View: v, Return: []Item{{Kind: ItemFilteredCount, Tag: "x"}}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("incomplete filtered count must fail")
+	}
+	bad3 := &FLWR{View: v, Where: &SubtreePred{Kind: PredExists},
+		Return: []Item{{Kind: ItemChildList, Tag: "part"}}}
+	if err := bad3.Validate(); err == nil {
+		t.Error("empty exists predicate must fail")
+	}
+	if err := Q1().Validate(); err != nil {
+		t.Errorf("Q1 must validate: %v", err)
+	}
+}
+
+func TestTaggerEdgeCases(t *testing.T) {
+	plan := &TagPlan{RootTag: "r", ElemTag: "e", KeyTag: "k",
+		Branches: []BranchPlan{{Wrap: "", Fields: []FieldSlot{{Ordinal: 2, Tag: "v"}}}}}
+	// Empty input still produces a well-formed document.
+	var b strings.Builder
+	if err := TagAll(plan, nil, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "<r>\n</r>\n" {
+		t.Errorf("empty document = %q", b.String())
+	}
+	// NULL fields emit empty elements; strings are escaped.
+	b.Reset()
+	rows := [][]any{
+		{int64(1), int64(0), nil},
+		{int64(1), int64(0), "a<b&c"},
+	}
+	if err := TagAll(plan, rows, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "<v/>") {
+		t.Errorf("NULL field: %s", out)
+	}
+	if !strings.Contains(out, "a&lt;b&amp;c") {
+		t.Errorf("escaping: %s", out)
+	}
+	// Bad branch id errors.
+	if err := TagAll(plan, [][]any{{int64(1), int64(9), nil}}, &b); err == nil {
+		t.Error("bad branch must error")
+	}
+	// Short row errors.
+	if err := TagAll(plan, [][]any{{int64(1)}}, &b); err == nil {
+		t.Error("short row must error")
+	}
+	// Out-of-range ordinal errors.
+	plan2 := &TagPlan{RootTag: "r", ElemTag: "e", KeyTag: "k",
+		Branches: []BranchPlan{{Fields: []FieldSlot{{Ordinal: 9, Tag: "v"}}}}}
+	if err := TagAll(plan2, [][]any{{int64(1), int64(0)}}, &b); err == nil {
+		t.Error("bad ordinal must error")
+	}
+}
+
+func TestTaggerClustersByKey(t *testing.T) {
+	plan := &TagPlan{RootTag: "r", ElemTag: "e", KeyTag: "k",
+		Branches: []BranchPlan{{Wrap: "c", Fields: []FieldSlot{{Ordinal: 2, Tag: "v"}}}}}
+	var b strings.Builder
+	rows := [][]any{
+		{int64(1), int64(0), "x"},
+		{int64(1), int64(0), "y"},
+		{int64(2), int64(0), "z"},
+	}
+	if err := TagAll(plan, rows, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "<e>") != 2 || strings.Count(out, "</e>") != 2 {
+		t.Errorf("element boundaries:\n%s", out)
+	}
+	if strings.Index(out, "<c><v>y</v></c>") > strings.Index(out, "<k>2</k>") {
+		t.Errorf("rows attributed to wrong element:\n%s", out)
+	}
+}
+
+func TestPublishedXMLIsWellFormed(t *testing.T) {
+	db := fixtureDB(t)
+	for _, q := range []*FLWR{Q1(), Q2(), Q3(0.9, 1.5), ExpensiveSuppliers(35), RichSuppliers(25)} {
+		for _, s := range []Strategy{GApply, SortedOuterUnion} {
+			out := publish(t, db, q, s)
+			if err := checkWellFormed(out); err != nil {
+				t.Errorf("%s/%v: %v\n%s", s, q.Return[0].Tag, err, out)
+			}
+		}
+	}
+}
