@@ -15,6 +15,7 @@
 package gapplydb_test
 
 import (
+	"fmt"
 	"os"
 	"strconv"
 	"sync"
@@ -102,6 +103,16 @@ func BenchmarkFigure8(b *testing.B) {
 	for _, c := range cases {
 		b.Run(c.name+"/WithoutGApply", func(b *testing.B) { runQuery(b, c.without) })
 		b.Run(c.name+"/WithGApply", func(b *testing.B) { runQuery(b, c.with) })
+		// The parallel execution phase, pinned to fixed degrees so runs on
+		// different hardware stay comparable (WithGApply above uses the
+		// default, GOMAXPROCS). Compare Dop1 vs Dop4 at GAPPLYDB_BENCH_SF
+		// ≥ 0.02 to see the per-group fan-out win.
+		for _, dop := range []int{1, 2, 4} {
+			dop := dop
+			b.Run(fmt.Sprintf("%s/WithGApplyDop%d", c.name, dop), func(b *testing.B) {
+				runQuery(b, c.with, gapplydb.WithDOP(dop))
+			})
+		}
 	}
 }
 

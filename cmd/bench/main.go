@@ -22,9 +22,11 @@ func main() {
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor (1.0 = full size)")
 	repeats := flag.Int("repeats", 3, "runs per measurement (min is kept)")
 	exp := flag.String("experiment", "all", "figure8 | table1 | clientsim | all")
+	dop := flag.Int("dop", 0, "GApply degree of parallelism (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	experiments.Repeats = *repeats
+	experiments.DOP = *dop
 	fmt.Printf("loading TPC-H at scale factor %g...\n", *sf)
 	start := time.Now()
 	db, err := gapplydb.OpenTPCH(*sf)

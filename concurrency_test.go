@@ -1,0 +1,130 @@
+package gapplydb_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"gapplydb"
+	"gapplydb/xmlpub"
+)
+
+// The concurrency battery locks in the API contract that Query (and XML
+// publishing on top of it) is safe for concurrent callers of one
+// *Database: every execution owns its context, worker pool and result
+// buffers, and the loaded catalog is only read. Run under -race this is
+// the engine's thread-safety proof; the assertions also verify that
+// concurrent executions do not corrupt each other's results.
+
+// stressQueries is a mix that covers the executor broadly: parallel
+// GApply (both paper translations), plain aggregation, joins,
+// decorrelated subqueries.
+func stressQueries() []string {
+	return []string{
+		xmlpub.Q1().GApplySQL(),
+		xmlpub.Q1().SortedOuterUnionSQL(),
+		xmlpub.Q2().GApplySQL(),
+		`select gapply(select p_name, p_retailprice from g
+			where p_retailprice > (select avg(p_retailprice) from g))
+		 from partsupp, part where ps_partkey = p_partkey
+		 group by ps_suppkey, p_size : g`,
+		`select ps_suppkey, count(*) n, avg(p_retailprice)
+		 from partsupp, part where ps_partkey = p_partkey
+		 group by ps_suppkey order by n desc`,
+		`select p_name from part
+		 where p_retailprice > 1.05 * (select avg(p_retailprice) from part)`,
+	}
+}
+
+func TestConcurrentQueriesOnSharedDatabase(t *testing.T) {
+	db := integDatabase(t)
+	queries := stressQueries()
+
+	// Golden answers, computed before any concurrency, at forced-serial
+	// execution: every concurrent run at any dop must reproduce them
+	// byte-for-byte.
+	want := make([][]string, len(queries))
+	for i, q := range queries {
+		res, err := db.Query(q, gapplydb.WithDOP(1))
+		if err != nil {
+			t.Fatalf("golden run %d: %v\n%s", i, err, q)
+		}
+		want[i] = ordered(res)
+	}
+
+	const goroutines = 8
+	const iterations = 6
+	dops := []int{0, 1, 2, 8}
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*iterations)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for it := 0; it < iterations; it++ {
+				qi := (gi + it) % len(queries)
+				dop := dops[(gi*iterations+it)%len(dops)]
+				res, err := db.Query(queries[qi], gapplydb.WithDOP(dop))
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d query %d dop %d: %w", gi, qi, dop, err)
+					return
+				}
+				if d := firstDiff(want[qi], ordered(res)); d != "" {
+					errs <- fmt.Errorf("goroutine %d query %d dop %d diverged: %s", gi, qi, dop, d)
+					return
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentXMLPublishing(t *testing.T) {
+	db := integDatabase(t)
+	flwrs := []*xmlpub.FLWR{xmlpub.Q1(), xmlpub.Q2(), xmlpub.Q3(0.9, 1.1)}
+
+	want := make([]string, len(flwrs))
+	for i, q := range flwrs {
+		var buf stringsBuilder
+		if _, err := xmlpub.Publish(db, q, xmlpub.GApply, &buf, gapplydb.WithDOP(1)); err != nil {
+			t.Fatal(err)
+		}
+		want[i] = buf.String()
+	}
+
+	const goroutines = 6
+	const iterations = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*iterations)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for it := 0; it < iterations; it++ {
+				qi := (gi + it) % len(flwrs)
+				strategy := xmlpub.GApply
+				if (gi+it)%2 == 1 {
+					strategy = xmlpub.SortedOuterUnion
+				}
+				var buf stringsBuilder
+				if _, err := xmlpub.Publish(db, flwrs[qi], strategy, &buf); err != nil {
+					errs <- fmt.Errorf("goroutine %d publish %d: %w", gi, qi, err)
+					return
+				}
+				if buf.String() != want[qi] {
+					errs <- fmt.Errorf("goroutine %d publish %d (%s): document diverged", gi, qi, strategy)
+					return
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,135 @@
+package gapplydb_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gapplydb"
+	"gapplydb/experiments"
+	"gapplydb/xmlpub"
+)
+
+// The differential battery executes the full evaluation workload — every
+// Figure 8 and Table 1 statement — under the optimizer off, the
+// optimizer on, and the parallel GApply execution phase at dop 1, 2 and
+// 8, asserting the configurations agree. Parallelism must be invisible:
+// not just the same row multiset but byte-identical ordered output,
+// because the constant-space XML tagger depends on the clustered order.
+
+// ordered renders a result's rows in output order.
+func ordered(res *gapplydb.Result) []string {
+	out := make([]string, len(res.Rows))
+	for i, row := range res.Rows {
+		out[i] = fmt.Sprint(row)
+	}
+	return out
+}
+
+func firstDiff(a, b []string) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Sprintf("row %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	return ""
+}
+
+func TestDifferentialSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential battery skipped in -short mode")
+	}
+	db := integDatabase(t)
+	for _, sq := range experiments.SuiteQueries() {
+		sq := sq
+		t.Run(sq.Name, func(t *testing.T) {
+			serial, err := db.Query(sq.SQL, gapplydb.WithDOP(1))
+			if err != nil {
+				t.Fatalf("dop 1: %v\n%s", err, sq.SQL)
+			}
+			want := ordered(serial)
+			wantSet := canonical(serial)
+
+			// Parallel execution at every degree must be byte-identical to
+			// serial, ordering included.
+			for _, dop := range []int{2, 8} {
+				res, err := db.Query(sq.SQL, gapplydb.WithDOP(dop))
+				if err != nil {
+					t.Fatalf("dop %d: %v", dop, err)
+				}
+				if d := firstDiff(want, ordered(res)); d != "" {
+					t.Fatalf("dop %d diverged from serial: %s", dop, d)
+				}
+			}
+			// The default configuration (rules on, default parallelism) is
+			// the same plan — it too must match byte-for-byte.
+			res, err := db.Query(sq.SQL)
+			if err != nil {
+				t.Fatalf("default: %v", err)
+			}
+			if d := firstDiff(want, ordered(res)); d != "" {
+				t.Fatalf("default config diverged from dop 1: %s", d)
+			}
+			// Optimizer off changes plan shape, so only the multiset is
+			// preserved. Raw cross-product plans are intractable — skipped,
+			// as in the integration battery.
+			if !sq.Heavy {
+				raw, err := db.Query(sq.SQL, gapplydb.WithoutOptimizer(), gapplydb.WithDOP(8))
+				if err != nil {
+					t.Fatalf("no-optimizer: %v", err)
+				}
+				if !equalCanonical(wantSet, canonical(raw)) {
+					t.Fatalf("optimizer off changed the result multiset (%d vs %d rows)",
+						len(serial.Rows), len(raw.Rows))
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialXML locks in the end product: the published XML
+// document for every FLWR query is identical under both translation
+// strategies and at every GApply parallel degree.
+func TestDifferentialXML(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential battery skipped in -short mode")
+	}
+	db := integDatabase(t)
+	queries := []struct {
+		name string
+		q    *xmlpub.FLWR
+	}{
+		{"Q1", xmlpub.Q1()},
+		{"Q2", xmlpub.Q2()},
+		{"Q3", xmlpub.Q3(0.9, 1.1)},
+		{"ExpensiveSuppliers", xmlpub.ExpensiveSuppliers(2050)},
+		{"RichSuppliers", xmlpub.RichSuppliers(1500)},
+	}
+	for _, tc := range queries {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var want string
+			for _, strategy := range []xmlpub.Strategy{xmlpub.GApply, xmlpub.SortedOuterUnion} {
+				for _, dop := range []int{1, 2, 8} {
+					var buf stringsBuilder
+					if _, err := xmlpub.Publish(db, tc.q, strategy, &buf, gapplydb.WithDOP(dop)); err != nil {
+						t.Fatalf("%s dop %d: %v", strategy, dop, err)
+					}
+					doc := buf.String()
+					if len(doc) == 0 {
+						t.Fatalf("%s dop %d: empty document", strategy, dop)
+					}
+					if want == "" {
+						want = doc
+						continue
+					}
+					if doc != want {
+						t.Fatalf("%s dop %d produced a different document", strategy, dop)
+					}
+				}
+			}
+		})
+	}
+}

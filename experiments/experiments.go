@@ -20,9 +20,17 @@ import (
 // elapsed time is kept (steady-state, least-noise estimator).
 var Repeats = 3
 
+// DOP caps GApply parallelism for every measured query. 0 keeps the
+// engine default (runtime.GOMAXPROCS(0)); 1 reproduces the paper's
+// serial execution phase. cmd/bench's -dop flag sets this.
+var DOP = 0
+
 // timeQuery returns the minimum execution time of the query across
 // Repeats runs, and the result of the last run.
 func timeQuery(db *gapplydb.Database, q string, opts ...gapplydb.QueryOption) (time.Duration, *gapplydb.Result, error) {
+	if DOP != 0 {
+		opts = append(append([]gapplydb.QueryOption{}, opts...), gapplydb.WithDOP(DOP))
+	}
 	best := time.Duration(0)
 	var last *gapplydb.Result
 	for i := 0; i < Repeats; i++ {

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strings"
+
+	"gapplydb/xmlpub"
+)
+
+// SuiteQuery is one statement of the evaluation workload, with the
+// execution-feasibility flag differential tests need.
+type SuiteQuery struct {
+	Name string
+	SQL  string
+	// Heavy marks statements whose raw (un-optimized) plan is intractable
+	// even at tiny scale factors: 3-way-or-worse cross products, or
+	// correlated subqueries that without decorrelation re-scan an
+	// unpushed join per outer row.
+	Heavy bool
+}
+
+// SuiteQueries returns every SQL statement the Figure 8 and Table 1
+// experiments execute — the full evaluation workload — so differential
+// and regression tests cover exactly what the harness measures.
+func SuiteQueries() []SuiteQuery {
+	out := []SuiteQuery{
+		{Name: "figure8/Q1/without", SQL: xmlpub.Q1().SortedOuterUnionSQL()},
+		{Name: "figure8/Q1/with", SQL: xmlpub.Q1().GApplySQL()},
+		{Name: "figure8/Q2/without", SQL: xmlpub.Q2().SortedOuterUnionSQL(), Heavy: true},
+		{Name: "figure8/Q2/with", SQL: xmlpub.Q2().GApplySQL()},
+		{Name: "figure8/Q3/without", SQL: xmlpub.Q3(0.9, 1.1).SortedOuterUnionSQL(), Heavy: true},
+		{Name: "figure8/Q3/with", SQL: xmlpub.Q3(0.9, 1.1).GApplySQL()},
+		{Name: "figure8/Q4/without", SQL: q4Flat, Heavy: true},
+		{Name: "figure8/Q4/with", SQL: q4GApply},
+	}
+	seen := map[string]bool{}
+	for _, q := range out {
+		seen[q.SQL] = true
+	}
+	for _, sweep := range table1Sweeps() {
+		for _, pt := range sweep.points {
+			if seen[pt.query] {
+				continue
+			}
+			seen[pt.query] = true
+			out = append(out, SuiteQuery{
+				Name: "table1/" + sweep.ruleName + "/" + pt.param,
+				SQL:  pt.query,
+				// The invariant-grouping sweep and the wider projection
+				// sweeps put 3-4 tables in FROM.
+				Heavy: sweep.ruleName == "invariant-grouping" ||
+					strings.Contains(pt.param, "3 tables") ||
+					strings.Contains(pt.param, "4 tables"),
+			})
+		}
+	}
+	return out
+}

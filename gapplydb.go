@@ -174,6 +174,7 @@ type QueryOption func(*queryConfig)
 
 type queryConfig struct {
 	optOpts opt.Options
+	dop     int
 }
 
 // WithoutRule disables one optimizer rule (see RuleNames) for the query.
@@ -200,6 +201,16 @@ func ForceRule(name string) QueryOption {
 // logical rewrite (physical strategies are still assigned).
 func WithoutOptimizer() QueryOption {
 	return func(c *queryConfig) { c.optOpts.SkipOptimization = true }
+}
+
+// WithDOP caps the degree of parallelism of GApply's execution phase:
+// how many groups may be evaluated concurrently by the worker pool.
+// n = 1 forces the paper's serial execution; n <= 0 restores the
+// default, runtime.GOMAXPROCS(0). Output is byte-identical at every
+// degree — results stay clustered in partition order — so the knob
+// trades only memory (up to ~2×dop buffered groups) for speed.
+func WithDOP(n int) QueryOption {
+	return func(c *queryConfig) { c.dop = n }
 }
 
 // WithPartition selects the GApply partitioning strategy: "hash",
@@ -242,21 +253,32 @@ type ExecStats struct {
 // String renders the result as an aligned table.
 func (r *Result) String() string { return r.inner.String() }
 
-// Query parses, binds, optimizes and executes a statement.
+// Query parses, binds, optimizes and executes a statement. It is safe
+// for concurrent callers: every execution gets its own context, and the
+// loaded catalog is only read.
 func (db *Database) Query(query string, options ...QueryOption) (*Result, error) {
-	plan, err := db.Plan(query, options...)
+	cfg := makeConfig(options)
+	plan, err := db.plan(query, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return db.execute(plan)
+	return db.execute(plan, cfg)
 }
 
-// Plan compiles a statement to its optimized logical plan.
-func (db *Database) Plan(query string, options ...QueryOption) (core.Node, error) {
+func makeConfig(options []QueryOption) queryConfig {
 	var cfg queryConfig
 	for _, o := range options {
 		o(&cfg)
 	}
+	return cfg
+}
+
+// Plan compiles a statement to its optimized logical plan.
+func (db *Database) Plan(query string, options ...QueryOption) (core.Node, error) {
+	return db.plan(query, makeConfig(options))
+}
+
+func (db *Database) plan(query string, cfg queryConfig) (core.Node, error) {
 	stmt, _, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
@@ -269,8 +291,9 @@ func (db *Database) Plan(query string, options ...QueryOption) (core.Node, error
 }
 
 // execute runs an optimized plan.
-func (db *Database) execute(plan core.Node) (*Result, error) {
+func (db *Database) execute(plan core.Node, cfg queryConfig) (*Result, error) {
 	ctx := exec.NewContext(db.cat)
+	ctx.DOP = cfg.dop
 	start := time.Now()
 	res, err := exec.Run(plan, ctx)
 	if err != nil {

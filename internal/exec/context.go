@@ -16,8 +16,19 @@ import (
 // Context carries runtime state shared by an iterator tree: the catalog,
 // the current group bindings for relation-valued variables, and the
 // stack of outer rows pushed by Apply operators for correlated inners.
+//
+// A Context (and the iterator tree bound to it) belongs to a single
+// goroutine. Parallel GApply gives every worker its own fork()ed
+// Context and its own iterator tree, then merges the workers' Counters
+// back deterministically — shared mutable state never crosses a
+// goroutine boundary.
 type Context struct {
 	Catalog *storage.Catalog
+
+	// DOP caps the degree of parallelism of GApply's execution phase:
+	// how many groups may be evaluated concurrently. 0 (the default)
+	// means runtime.GOMAXPROCS(0); 1 forces serial execution.
+	DOP int
 
 	// groups binds group variables to materialized partitions. GApply's
 	// execution phase sets the binding before each per-group evaluation
@@ -52,6 +63,48 @@ type Counters struct {
 // NewContext returns a fresh execution context over a catalog.
 func NewContext(cat *storage.Catalog) *Context {
 	return &Context{Catalog: cat, groups: make(map[string][]types.Row)}
+}
+
+// fork returns a child context for a GApply worker: the same catalog and
+// DOP, a snapshot of the current bindings (so inners referencing an
+// enclosing group variable keep resolving), and zeroed Counters that the
+// spawning GApply merges back in partition order.
+func (c *Context) fork() *Context {
+	groups := make(map[string][]types.Row, len(c.groups))
+	for k, v := range c.groups {
+		groups[k] = v
+	}
+	child := &Context{Catalog: c.Catalog, DOP: c.DOP, groups: groups}
+	child.outer = append(child.outer, c.outer...)
+	return child
+}
+
+// sub returns the per-field difference c - o: the work done since the
+// snapshot o was taken.
+func (c Counters) sub(o Counters) Counters {
+	return Counters{
+		RowsScanned:    c.RowsScanned - o.RowsScanned,
+		GroupScanRows:  c.GroupScanRows - o.GroupScanRows,
+		Groups:         c.Groups - o.Groups,
+		InnerExecs:     c.InnerExecs - o.InnerExecs,
+		ApplyExecs:     c.ApplyExecs - o.ApplyExecs,
+		ApplyCacheHits: c.ApplyCacheHits - o.ApplyCacheHits,
+		JoinProbes:     c.JoinProbes - o.JoinProbes,
+	}
+}
+
+// add merges another tally into c. Parallel GApply calls this from the
+// consuming goroutine only, once per finished group, so counter totals
+// are exact and race-free without atomics — plan-shape assertions see
+// the same values as under serial execution.
+func (c *Counters) add(o Counters) {
+	c.RowsScanned += o.RowsScanned
+	c.GroupScanRows += o.GroupScanRows
+	c.Groups += o.Groups
+	c.InnerExecs += o.InnerExecs
+	c.ApplyExecs += o.ApplyExecs
+	c.ApplyCacheHits += o.ApplyCacheHits
+	c.JoinProbes += o.JoinProbes
 }
 
 // BindGroup binds rows to a group variable and invalidates caches.

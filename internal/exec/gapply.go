@@ -1,7 +1,10 @@
 package exec
 
 import (
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"gapplydb/internal/core"
 	"gapplydb/internal/types"
@@ -23,37 +26,62 @@ func buildGApply(g *core.GApply, ctx *Context, env compileEnv) (Iterator, error)
 		return nil, err
 	}
 	return &gapply{
-		outer:    outer,
-		inner:    inner,
-		ctx:      ctx,
-		ords:     ords,
-		groupVar: g.GroupVar,
-		sortPart: g.Partition == core.PartitionSort,
+		outer:     outer,
+		inner:     inner,
+		innerPlan: g.Inner,
+		env:       env,
+		ctx:       ctx,
+		ords:      ords,
+		groupVar:  g.GroupVar,
+		sortPart:  g.Partition == core.PartitionSort,
+		// An inner with outer references reads rows the enclosing Apply
+		// pushes onto the shared context's stack as it iterates; that
+		// state cannot be snapshotted per worker, so such inners run
+		// serially (the workers' fallback the parallel phase checks).
+		correlated: len(core.OuterRefsIn(g.Inner)) > 0,
 	}, nil
 }
 
 // gapply is the paper's physical GApply (§3): a Partition phase that
 // splits the outer stream into groups on the grouping columns (by
-// hashing or sorting), then an Execution phase that runs in nested-loops
-// fashion, binding the relation-valued parameter $group to each group in
-// succession and evaluating the per-group query against it. Both
-// strategies emit results clustered by group, which is what lets the
-// syntax drop the ORDER BY a sorted-outer-union query needs for a
-// constant-space tagger.
+// hashing or sorting), then an Execution phase that evaluates the
+// per-group query against each group with the relation-valued parameter
+// $group bound to the group's rows. Both partition strategies emit
+// results clustered by group, which is what lets the syntax drop the
+// ORDER BY a sorted-outer-union query needs for a constant-space tagger.
+//
+// The execution phase runs the groups either serially through the
+// prebuilt inner tree (the paper's "in succession") or — since the
+// groups are independent by construction — fanned out across a bounded
+// worker pool, where every worker owns a private Context and a private
+// instantiation of the inner plan, and a reorder stage emits the
+// buffered per-group results in partition order. Output is therefore
+// byte-identical to serial execution, clustering included.
 type gapply struct {
 	outer, inner Iterator
+	innerPlan    core.Node
+	env          compileEnv
 	ctx          *Context
 	ords         []int
 	groupVar     string
 	sortPart     bool
+	correlated   bool
 
 	groups  [][]types.Row
 	gpos    int
 	keyVals types.Row
 	started bool
+
+	par  *parRun     // non-nil while a parallel execution phase is live
+	buf  []types.Row // current group's buffered output (parallel mode)
+	bpos int
 }
 
 func (g *gapply) Open() error {
+	if g.par != nil { // re-Open without an intervening Close
+		g.par.shutdown()
+		g.par = nil
+	}
 	rows, err := Drain(g.outer)
 	if err != nil {
 		return err
@@ -66,7 +94,29 @@ func (g *gapply) Open() error {
 	g.ctx.Counters.Groups += int64(len(g.groups))
 	g.gpos = 0
 	g.started = false
+	g.buf, g.bpos = nil, 0
+	if dop := g.degree(); dop > 1 {
+		g.par = g.startWorkers(dop)
+	}
 	return nil
+}
+
+// degree decides how many workers the execution phase uses: the
+// context's DOP (default GOMAXPROCS), clamped to the group count, and 1
+// — the serial fallback — when the inner is correlated with an
+// enclosing Apply.
+func (g *gapply) degree() int {
+	if g.correlated {
+		return 1
+	}
+	dop := g.ctx.DOP
+	if dop <= 0 {
+		dop = runtime.GOMAXPROCS(0)
+	}
+	if dop > len(g.groups) {
+		dop = len(g.groups)
+	}
+	return dop
 }
 
 // partitionByHash groups rows by hashing the grouping columns; group
@@ -112,7 +162,8 @@ func partitionBySort(rows []types.Row, ords []int) [][]types.Row {
 	return groups
 }
 
-// advance binds the next group and opens the per-group query over it.
+// advance binds the next group and opens the per-group query over it
+// (serial execution phase).
 func (g *gapply) advance() (bool, error) {
 	for g.gpos < len(g.groups) {
 		group := g.groups[g.gpos]
@@ -130,6 +181,9 @@ func (g *gapply) advance() (bool, error) {
 }
 
 func (g *gapply) Next() (types.Row, bool, error) {
+	if g.par != nil {
+		return g.parNext()
+	}
 	for {
 		if !g.started {
 			ok, err := g.advance()
@@ -155,10 +209,167 @@ func (g *gapply) Next() (types.Row, bool, error) {
 }
 
 func (g *gapply) Close() error {
-	g.groups = nil
+	if g.par != nil {
+		g.par.shutdown()
+		g.par = nil
+	}
+	g.groups, g.buf = nil, nil
 	if g.started {
 		g.started = false
 		return g.inner.Close()
 	}
 	return nil
+}
+
+// ---------------------------------------------- parallel execution phase
+
+// parGroup is one group's buffered evaluation: its output rows (already
+// prefixed with the grouping-column values), the execution counters the
+// worker accumulated while producing them, and any error.
+type parGroup struct {
+	rows  []types.Row
+	delta Counters
+	err   error
+}
+
+// parRun is the state of one parallel execution phase. Workers claim
+// group indexes from a shared counter, evaluate each claimed group
+// against their private iterator tree, publish into results[i], and
+// close ready[i]; the consumer (the goroutine driving Next) waits on the
+// ready channels in partition order. The channel close is the only
+// synchronization a result needs: the worker's writes happen before the
+// close, which happens before the consumer's read.
+//
+// window bounds how many groups may be claimed but not yet consumed, so
+// a fast worker racing ahead through small groups cannot buffer an
+// unbounded prefix of the output: workers acquire a window slot before
+// claiming an index and the consumer releases the slot when it emits the
+// group.
+type parRun struct {
+	results []parGroup
+	ready   []chan struct{}
+	window  chan struct{}
+	stop    chan struct{}
+	once    sync.Once
+	wg      sync.WaitGroup
+}
+
+// startWorkers launches the pool for the groups partitioned by Open.
+// The pool captures the partition snapshot (not the gapply fields): a
+// later Close/Open on the iterator must not yank state out from under
+// workers that are still winding down.
+func (g *gapply) startWorkers(dop int) *parRun {
+	groups := g.groups
+	n := len(groups)
+	p := &parRun{
+		results: make([]parGroup, n),
+		ready:   make([]chan struct{}, n),
+		window:  make(chan struct{}, 2*dop),
+		stop:    make(chan struct{}),
+	}
+	for i := range p.ready {
+		p.ready[i] = make(chan struct{})
+	}
+	var next atomic.Int64
+	var failed atomic.Bool
+	p.wg.Add(dop)
+	for w := 0; w < dop; w++ {
+		go func() {
+			defer p.wg.Done()
+			wctx := g.ctx.fork()
+			var inner Iterator
+			for {
+				select {
+				case <-p.stop:
+					return
+				case p.window <- struct{}{}:
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				// After any group fails the run's outcome is decided (the
+				// consumer stops at the first error in partition order), so
+				// later groups complete empty instead of doing work.
+				if failed.Load() {
+					close(p.ready[i])
+					continue
+				}
+				if inner == nil {
+					// Instantiate this worker's private inner tree, bound to
+					// its private context. Compilation already succeeded once
+					// against the same plan, so an error here is unexpected
+					// but still reported through the group's slot.
+					it, err := build(g.innerPlan, wctx, g.env)
+					if err != nil {
+						p.results[i] = parGroup{err: err}
+						failed.Store(true)
+						close(p.ready[i])
+						continue
+					}
+					inner = it
+				}
+				res := evalGroup(g, wctx, inner, groups[i])
+				if res.err != nil {
+					failed.Store(true)
+				}
+				p.results[i] = res
+				close(p.ready[i])
+			}
+		}()
+	}
+	return p
+}
+
+// evalGroup runs the per-group query over one group on a worker's
+// private context and tree, buffering the output rows with the grouping
+// columns prefixed — the same row layout the serial phase streams.
+func evalGroup(g *gapply, wctx *Context, inner Iterator, group []types.Row) parGroup {
+	before := wctx.Counters
+	wctx.BindGroup(g.groupVar, group)
+	wctx.Counters.InnerExecs++
+	key := group[0].Project(g.ords)
+	rows, err := Drain(inner)
+	out := parGroup{err: err}
+	if err == nil {
+		out.rows = make([]types.Row, len(rows))
+		for i, r := range rows {
+			out.rows[i] = key.Concat(r)
+		}
+	}
+	out.delta = wctx.Counters.sub(before)
+	return out
+}
+
+// parNext emits the buffered groups in partition order, merging each
+// group's counter delta into the parent context as it is consumed.
+func (g *gapply) parNext() (types.Row, bool, error) {
+	for {
+		if g.bpos < len(g.buf) {
+			r := g.buf[g.bpos]
+			g.bpos++
+			return r, true, nil
+		}
+		if g.gpos >= len(g.groups) {
+			return nil, false, nil
+		}
+		i := g.gpos
+		g.gpos++
+		<-g.par.ready[i]
+		res := g.par.results[i]
+		g.par.results[i] = parGroup{}
+		<-g.par.window
+		g.ctx.Counters.add(res.delta)
+		if res.err != nil {
+			return nil, false, res.err
+		}
+		g.buf, g.bpos = res.rows, 0
+	}
+}
+
+// shutdown stops the pool and waits for the workers to exit; pending
+// results are discarded. Safe to call more than once.
+func (p *parRun) shutdown() {
+	p.once.Do(func() { close(p.stop) })
+	p.wg.Wait()
 }

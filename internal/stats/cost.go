@@ -28,11 +28,15 @@ const (
 )
 
 // Estimator derives cardinalities and costs from collected statistics.
+// Estimate never mutates the receiver, so one Estimator may serve
+// concurrent planning sessions (the stats it reads are frozen at
+// Collect time).
 type Estimator struct {
 	Stats *Stats
 
-	// groupRows is the assumed GroupScan cardinality, set while costing a
-	// per-group query under the §4.4 uniformity assumption.
+	// groupRows is the assumed GroupScan cardinality while costing a
+	// per-group query under the §4.4 uniformity assumption; it is set
+	// only on the copied estimator estimateGApply descends with.
 	groupRows float64
 }
 
@@ -155,10 +159,11 @@ func (e *Estimator) estimateGApply(g *core.GApply) Estimate {
 		avgGroup = outer.Rows / groups
 	}
 
-	saved := e.groupRows
-	e.groupRows = avgGroup
-	perGroup := e.Estimate(g.Inner)
-	e.groupRows = saved
+	// Cost the per-group query on a copy: mutating e.groupRows in place
+	// would race when concurrent queries share the optimizer's estimator.
+	sub := *e
+	sub.groupRows = avgGroup
+	perGroup := sub.Estimate(g.Inner)
 
 	partition := outer.Rows * cHashRow
 	if g.Partition == core.PartitionSort {
