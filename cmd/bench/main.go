@@ -6,9 +6,12 @@
 // Usage:
 //
 //	bench [-sf 0.01] [-repeats 3] [-experiment all|figure8|table1|clientsim]
+//	bench -json out.json     # also write per-query observability records
+//	                         # (plan hash, rule trace, analyzed plan, stats)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,8 +24,9 @@ import (
 func main() {
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor (1.0 = full size)")
 	repeats := flag.Int("repeats", 3, "runs per measurement (min is kept)")
-	exp := flag.String("experiment", "all", "figure8 | table1 | clientsim | all")
+	exp := flag.String("experiment", "all", "figure8 | table1 | clientsim | none | all")
 	dop := flag.Int("dop", 0, "GApply degree of parallelism (0 = GOMAXPROCS, 1 = serial)")
+	jsonPath := flag.String("json", "", "write per-query JSON reports (plan hash, trace, operator timings) to this file")
 	flag.Parse()
 
 	experiments.Repeats = *repeats
@@ -46,6 +50,31 @@ func main() {
 	run("figure8", printFigure8)
 	run("table1", printTable1)
 	run("clientsim", printClientSim)
+
+	if *jsonPath != "" {
+		if err := writeReports(db, *jsonPath); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeReports runs the whole suite once under EXPLAIN ANALYZE and
+// writes the per-query observability records as indented JSON.
+func writeReports(db *gapplydb.Database, path string) error {
+	fmt.Printf("collecting per-query reports...\n")
+	reports, err := experiments.Reports(db)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d query reports to %s\n", len(reports), path)
+	return nil
 }
 
 func fatal(err error) {

@@ -4,17 +4,25 @@
 //	select gapply(<per-group query>) [as (<columns>)]
 //	from ... where ... group by <cols> : <variable>
 //
-// Prefix a statement with EXPLAIN to see the optimized plan and the
-// optimizer's cost estimate. Meta commands: \dt lists tables, \q quits.
+// Prefix a statement with EXPLAIN to see the optimized plan, its
+// per-node estimates, the plan hash and the optimizer's rule trace;
+// EXPLAIN ANALYZE additionally executes the statement and annotates
+// every operator with actual rows, loop counts and wall time.
+//
+// Meta commands: \dt lists tables, \explain <query> explains a
+// one-line query, \metrics dumps the session's metrics, \q quits.
 //
 // Usage:
 //
-//	gsql [-sf 0.01]        # starts with TPC-H loaded at the scale factor
-//	gsql -sf 0             # starts with an empty catalog
+//	gsql [-sf 0.01]          # starts with TPC-H loaded at the scale factor
+//	gsql -sf 0               # starts with an empty catalog
+//	gsql -stats              # print executor statistics after each statement
+//	gsql -slowlog 100ms      # print EXPLAIN ANALYZE for statements slower than this
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -23,10 +31,13 @@ import (
 	"time"
 
 	"gapplydb"
+	"gapplydb/internal/sql"
 )
 
 func main() {
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor to preload (0 = empty database)")
+	stats := flag.Bool("stats", false, "print executor statistics after each statement")
+	slowlog := flag.Duration("slowlog", 0, "print EXPLAIN ANALYZE for statements slower than this (0 = off)")
 	flag.Parse()
 
 	var db *gapplydb.Database
@@ -41,7 +52,8 @@ func main() {
 	} else {
 		db = gapplydb.Open()
 	}
-	fmt.Println(`gsql — GApply SQL shell. \dt lists tables, \q quits; end statements with ';'.`)
+	sh := &shell{db: db, stats: *stats, slowlog: *slowlog}
+	fmt.Println(`gsql — GApply SQL shell. \dt lists tables, \metrics dumps metrics, \q quits; end statements with ';'.`)
 
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
@@ -55,18 +67,11 @@ func main() {
 		}
 		line := in.Text()
 		trimmed := strings.TrimSpace(line)
-		if buf.Len() == 0 {
-			switch trimmed {
-			case `\q`, "quit", "exit":
+		if buf.Len() == 0 && (strings.HasPrefix(trimmed, `\`) || trimmed == "quit" || trimmed == "exit" || trimmed == "") {
+			if !sh.meta(trimmed, os.Stdout) {
 				return
-			case `\dt`:
-				for _, t := range db.Tables() {
-					fmt.Println(" ", t)
-				}
-				continue
-			case "":
-				continue
 			}
+			continue
 		}
 		buf.WriteString(line)
 		buf.WriteByte('\n')
@@ -77,31 +82,97 @@ func main() {
 		stmt := buf.String()
 		buf.Reset()
 		prompt = "gsql> "
-		runStatement(db, stmt, os.Stdout)
+		sh.run(stmt, os.Stdout)
 	}
 }
 
-func runStatement(db *gapplydb.Database, stmt string, w io.Writer) {
-	trimmed := strings.TrimSpace(stmt)
-	lower := strings.ToLower(trimmed)
-	if strings.HasPrefix(lower, "explain") {
-		rest := strings.TrimSpace(trimmed[len("explain"):])
-		rest = strings.TrimSuffix(strings.TrimSpace(rest), ";")
-		out, err := db.Explain(rest)
-		if err != nil {
-			fmt.Fprintln(w, "error:", err)
-			return
+// shell holds the session state the statement loop needs.
+type shell struct {
+	db      *gapplydb.Database
+	stats   bool
+	slowlog time.Duration
+}
+
+// meta handles a backslash command (or bare quit/exit/blank line);
+// it returns false when the shell should terminate.
+func (s *shell) meta(cmd string, w io.Writer) bool {
+	switch {
+	case cmd == `\q` || cmd == "quit" || cmd == "exit":
+		return false
+	case cmd == "":
+		return true
+	case cmd == `\dt`:
+		for _, t := range s.db.Tables() {
+			fmt.Fprintln(w, " ", t)
 		}
-		fmt.Fprint(w, out)
-		return
+	case cmd == `\metrics`:
+		fmt.Fprint(w, s.db.Metrics().String())
+	case strings.HasPrefix(cmd, `\explain `):
+		q := strings.TrimSuffix(strings.TrimSpace(cmd[len(`\explain `):]), ";")
+		e, err := s.db.ExplainPlan(q)
+		if err != nil {
+			printError(w, q, err)
+			return true
+		}
+		fmt.Fprint(w, e.String())
+	default:
+		fmt.Fprintf(w, "unknown command %s\n", cmd)
 	}
+	return true
+}
+
+// run executes one terminated statement and prints its result.
+func (s *shell) run(stmt string, w io.Writer) {
+	query := strings.TrimSuffix(strings.TrimSpace(stmt), ";")
 	start := time.Now()
-	res, err := db.Query(strings.TrimSuffix(trimmed, ";"))
+	res, err := s.db.Query(query)
 	if err != nil {
-		fmt.Fprintln(w, "error:", err)
+		printError(w, query, err)
 		return
 	}
 	fmt.Fprint(w, res.String())
 	fmt.Fprintf(w, "(%d rows in %v; exec %v)\n",
 		len(res.Rows), time.Since(start).Round(time.Microsecond), res.Elapsed.Round(time.Microsecond))
+	if s.stats {
+		st := res.Stats
+		fmt.Fprintf(w, "stats: scanned=%d groups=%d inner=%d serial=%d parallel=%d apply=%d cachehits=%d probes=%d\n",
+			st.RowsScanned, st.Groups, st.InnerExecs, st.SerialGroupExecs,
+			st.ParallelGroupExecs, st.ApplyExecs, st.ApplyCacheHits, st.JoinProbes)
+	}
+	if s.slowlog > 0 && res.Elapsed >= s.slowlog {
+		e, err := s.db.ExplainAnalyze(query)
+		if err != nil {
+			fmt.Fprintln(w, "slowlog: explain analyze failed:", err)
+			return
+		}
+		fmt.Fprintf(w, "-- slow statement (%v >= %v), explain analyze:\n%s",
+			res.Elapsed.Round(time.Microsecond), s.slowlog, e.String())
+	}
+}
+
+// runStatement keeps the original one-shot entry point (used by tests):
+// a default shell with stats and slowlog off.
+func runStatement(db *gapplydb.Database, stmt string, w io.Writer) {
+	(&shell{db: db}).run(stmt, w)
+}
+
+// printError reports a failed statement; parse errors get the offending
+// source line with a caret under the error position.
+func printError(w io.Writer, stmt string, err error) {
+	fmt.Fprintln(w, "error:", err)
+	var pe *sql.ParseError
+	if !errors.As(err, &pe) {
+		return
+	}
+	lines := strings.Split(stmt, "\n")
+	if pe.Line < 1 || pe.Line > len(lines) {
+		return
+	}
+	line := lines[pe.Line-1]
+	fmt.Fprintf(w, "  %s\n", line)
+	col := pe.Col
+	if col > len(line)+1 {
+		col = len(line) + 1
+	}
+	fmt.Fprintf(w, "  %s^\n", strings.Repeat(" ", col-1))
 }

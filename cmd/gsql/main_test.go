@@ -65,3 +65,72 @@ func TestRunStatementError(t *testing.T) {
 		t.Errorf("explain error not reported:\n%s", b.String())
 	}
 }
+
+func TestRunStatementExplainAnalyze(t *testing.T) {
+	db := shellDB(t)
+	var b strings.Builder
+	runStatement(db, "explain analyze select s_name from supplier;", &b)
+	out := b.String()
+	for _, want := range []string{"Scan supplier", "actual rows=10", "plan hash:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain analyze output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShellStatsFlag(t *testing.T) {
+	db := shellDB(t)
+	var b strings.Builder
+	sh := &shell{db: db, stats: true}
+	sh.run("select count(*) from supplier;", &b)
+	if !strings.Contains(b.String(), "stats: scanned=10") {
+		t.Errorf("missing stats line:\n%s", b.String())
+	}
+}
+
+func TestShellSlowlog(t *testing.T) {
+	db := shellDB(t)
+	var b strings.Builder
+	sh := &shell{db: db, slowlog: 1} // 1ns: everything is slow
+	sh.run("select s_name from supplier;", &b)
+	out := b.String()
+	if !strings.Contains(out, "slow statement") || !strings.Contains(out, "actual rows=") {
+		t.Errorf("slowlog did not print explain analyze:\n%s", out)
+	}
+}
+
+func TestShellMetaCommands(t *testing.T) {
+	db := shellDB(t)
+	sh := &shell{db: db}
+	var b strings.Builder
+	if !sh.meta(`\dt`, &b) || !strings.Contains(b.String(), "supplier") {
+		t.Errorf("\\dt output:\n%s", b.String())
+	}
+	b.Reset()
+	sh.run("select count(*) from part;", &b) // populate metrics
+	b.Reset()
+	if !sh.meta(`\metrics`, &b) || !strings.Contains(b.String(), "queries") {
+		t.Errorf("\\metrics output:\n%s", b.String())
+	}
+	b.Reset()
+	if !sh.meta(`\explain select s_name from supplier`, &b) ||
+		!strings.Contains(b.String(), "Scan supplier") {
+		t.Errorf("\\explain output:\n%s", b.String())
+	}
+	if sh.meta(`\q`, &b) {
+		t.Error("\\q must terminate the shell")
+	}
+}
+
+func TestParseErrorCaret(t *testing.T) {
+	db := shellDB(t)
+	var b strings.Builder
+	runStatement(db, "select s_name\nfrom supplier\nwhere +;", &b)
+	out := b.String()
+	if !strings.Contains(out, "line 3") {
+		t.Errorf("parse error lacks position:\n%s", out)
+	}
+	if !strings.Contains(out, "where +") || !strings.Contains(out, "^") {
+		t.Errorf("parse error lacks caret display:\n%s", out)
+	}
+}

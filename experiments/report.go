@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"time"
+
+	"gapplydb"
+)
+
+// QueryReport is one evaluation query's observability record: the plan
+// fingerprint and estimates, the optimizer's rule trace, the analyzed
+// plan (per-operator actual rows/loops/timings), and execution totals.
+// The bench harness serializes a slice of these to JSON so plan or
+// performance regressions diff cleanly run-over-run.
+type QueryReport struct {
+	Name          string
+	SQL           string
+	PlanHash      string
+	EstimatedRows float64
+	EstimatedCost float64
+	Elapsed       time.Duration
+	Rows          int
+	Stats         gapplydb.ExecStats
+	Trace         []gapplydb.RuleApplication
+	// Plan is the EXPLAIN ANALYZE rendering, one operator per line with
+	// estimated and actual figures.
+	Plan string
+}
+
+// Reports runs every suite query once under EXPLAIN ANALYZE and
+// collects its observability record. DOP applies as in the timed
+// experiments.
+func Reports(db *gapplydb.Database) ([]QueryReport, error) {
+	queries := SuiteQueries()
+	out := make([]QueryReport, 0, len(queries))
+	for _, q := range queries {
+		e, err := db.ExplainAnalyze(q.SQL, gapplydb.WithDOP(DOP))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, QueryReport{
+			Name:          q.Name,
+			SQL:           q.SQL,
+			PlanHash:      e.PlanHash,
+			EstimatedRows: e.EstimatedRows,
+			EstimatedCost: e.EstimatedCost,
+			Elapsed:       e.Result.Elapsed,
+			Rows:          len(e.Result.Rows),
+			Stats:         e.Result.Stats,
+			Trace:         e.Trace,
+			Plan:          e.Plan,
+		})
+	}
+	return out, nil
+}

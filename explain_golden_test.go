@@ -1,0 +1,97 @@
+package gapplydb_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gapplydb/experiments"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the EXPLAIN golden files under testdata/explain")
+
+// figure8Query fetches one Figure 8 statement from the evaluation suite
+// by name, so the golden battery explains exactly what bench measures.
+func figure8Query(t *testing.T, name string) string {
+	t.Helper()
+	for _, q := range experiments.SuiteQueries() {
+		if q.Name == name {
+			return q.SQL
+		}
+	}
+	t.Fatalf("suite query %q not found", name)
+	return ""
+}
+
+// TestExplainGolden pins the rendered EXPLAIN report — plan shape,
+// per-node estimates, plan hash and optimizer trace — for the paper's
+// four Figure 8 queries under both translation strategies. Beyond the
+// byte comparison it asserts the paper's §5 claim structurally: the
+// GApply plan scans the fact table (partsupp) exactly once, while the
+// sorted-outer-union / flat-SQL baseline re-joins it repeatedly.
+//
+// Run with -update to regenerate the goldens after an intended planner
+// or renderer change; the diff is the review artifact.
+func TestExplainGolden(t *testing.T) {
+	db := integDatabase(t)
+	cases := []struct {
+		file  string
+		suite string
+		// gapply marks the strategy expected to touch partsupp once.
+		gapply bool
+	}{
+		{"q1_gapply", "figure8/Q1/with", true},
+		{"q1_baseline", "figure8/Q1/without", false},
+		{"q2_gapply", "figure8/Q2/with", true},
+		{"q2_baseline", "figure8/Q2/without", false},
+		{"q3_gapply", "figure8/Q3/with", true},
+		{"q3_baseline", "figure8/Q3/without", false},
+		{"q4_gapply", "figure8/Q4/with", true},
+		{"q4_baseline", "figure8/Q4/without", false},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.file, func(t *testing.T) {
+			sql := figure8Query(t, tc.suite)
+			e, err := db.ExplainPlan(sql)
+			if err != nil {
+				t.Fatalf("explain: %v\n%s", err, sql)
+			}
+			got := e.String()
+
+			// Count fact-table scans in the plan tree only — the trace
+			// section repeats operator summaries.
+			scans := strings.Count(e.Plan, "Scan partsupp")
+			if tc.gapply {
+				if scans != 1 {
+					t.Errorf("GApply plan scans partsupp %d times, want exactly 1:\n%s", scans, e.Plan)
+				}
+				if !strings.Contains(e.Plan, "GApply") {
+					t.Errorf("plan lacks a GApply operator:\n%s", e.Plan)
+				}
+			} else if scans < 2 {
+				t.Errorf("baseline plan scans partsupp %d times, want the redundant joins (>= 2):\n%s", scans, e.Plan)
+			}
+
+			path := filepath.Join("testdata", "explain", tc.file+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run: go test -run TestExplainGolden -update ./): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("EXPLAIN output changed (intended? regenerate with -update):\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"gapplydb/internal/bind"
 	"gapplydb/internal/core"
 	"gapplydb/internal/exec"
+	"gapplydb/internal/metrics"
 	"gapplydb/internal/opt"
 	"gapplydb/internal/schema"
 	"gapplydb/internal/sql"
@@ -44,11 +45,12 @@ type Database struct {
 	cat *storage.Catalog
 	st  *stats.Stats
 	opt *opt.Optimizer
+	reg *metrics.Registry
 }
 
 // Open creates an empty database.
 func Open() *Database {
-	db := &Database{cat: storage.NewCatalog()}
+	db := &Database{cat: storage.NewCatalog(), reg: metrics.NewRegistry()}
 	db.RefreshStats()
 	return db
 }
@@ -57,13 +59,24 @@ func Open() *Database {
 // the given scale factor (1.0 ≈ the paper's schema at full row counts;
 // 0.01 is comfortable for a laptop).
 func OpenTPCH(scaleFactor float64) (*Database, error) {
-	db := &Database{cat: storage.NewCatalog()}
+	db := &Database{cat: storage.NewCatalog(), reg: metrics.NewRegistry()}
 	if err := tpch.Load(db.cat, scaleFactor); err != nil {
 		return nil, err
 	}
 	db.RefreshStats()
 	return db, nil
 }
+
+// Metrics returns a point-in-time snapshot of the database's lifetime
+// metrics: query and error counts, optimize/execute latency histograms,
+// groups formed, the serial/parallel group-execution split, and the
+// apply-cache hit tallies. Safe to call concurrently with queries.
+func (db *Database) Metrics() metrics.Snapshot { return db.reg.Snapshot() }
+
+// PublishMetrics exposes the database's metrics registry as an expvar
+// variable under the given name (JSON, recomputed per read). Publishing
+// the same name twice is a no-op, so it is safe to call at every startup.
+func (db *Database) PublishMetrics(name string) { metrics.Publish(name, db.reg) }
 
 // Column describes one column of a user-created table. Type is one of
 // "int", "float", "string", "bool", "date".
@@ -173,8 +186,18 @@ func (db *Database) RefreshStats() {
 type QueryOption func(*queryConfig)
 
 type queryConfig struct {
-	optOpts opt.Options
-	dop     int
+	optOpts    opt.Options
+	dop        int
+	instrument bool
+}
+
+// WithInstrumentation turns on per-operator profiling for the query:
+// every plan node records its actual row count, loop count (Opens) and
+// inclusive wall time, which ExplainAnalyze renders and Result exposes.
+// Without this option (and outside EXPLAIN ANALYZE) execution carries no
+// probes at all, so the default path pays nothing for the feature.
+func WithInstrumentation() QueryOption {
+	return func(c *queryConfig) { c.instrument = true }
 }
 
 // WithoutRule disables one optimizer rule (see RuleNames) for the query.
@@ -236,33 +259,65 @@ type Result struct {
 	Elapsed time.Duration
 	// Stats tallies work done by the executor.
 	Stats ExecStats
+	// Trace records every optimizer rule application considered for this
+	// query, in order (nil when the optimizer was skipped).
+	Trace []RuleApplication
 
 	inner *exec.Result
+	text  string // rendered explanation, for EXPLAIN statements
+	prof  *exec.Profile
 }
 
 // ExecStats mirrors the executor's work counters.
 type ExecStats struct {
-	RowsScanned    int64
-	Groups         int64
-	InnerExecs     int64
-	ApplyExecs     int64
-	ApplyCacheHits int64
-	JoinProbes     int64
+	RowsScanned        int64
+	Groups             int64
+	InnerExecs         int64
+	SerialGroupExecs   int64
+	ParallelGroupExecs int64
+	ApplyExecs         int64
+	ApplyCacheHits     int64
+	JoinProbes         int64
 }
 
-// String renders the result as an aligned table.
-func (r *Result) String() string { return r.inner.String() }
+// String renders the result as an aligned table (or, for an EXPLAIN
+// statement, the rendered plan report).
+func (r *Result) String() string {
+	if r.inner == nil {
+		return r.text
+	}
+	return r.inner.String()
+}
 
 // Query parses, binds, optimizes and executes a statement. It is safe
 // for concurrent callers: every execution gets its own context, and the
 // loaded catalog is only read.
+//
+// A statement prefixed with EXPLAIN [ANALYZE] is routed to the
+// corresponding explain path: the result has a single "QUERY PLAN"
+// column whose rows are the report's lines (ANALYZE executes the query
+// to completion but likewise returns the report, not the query's rows).
 func (db *Database) Query(query string, options ...QueryOption) (*Result, error) {
 	cfg := makeConfig(options)
-	plan, err := db.plan(query, cfg)
+	c, err := db.compile(query, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return db.execute(plan, cfg)
+	switch c.mode {
+	case sql.ExplainAnalyze:
+		e, err := db.explainCompiled(c, cfg, true)
+		if err != nil {
+			return nil, err
+		}
+		return e.planResult(), nil
+	case sql.ExplainPlan:
+		e, err := db.explainCompiled(c, cfg, false)
+		if err != nil {
+			return nil, err
+		}
+		return e.planResult(), nil
+	}
+	return db.execute(c, cfg)
 }
 
 func makeConfig(options []QueryOption) queryConfig {
@@ -275,45 +330,73 @@ func makeConfig(options []QueryOption) queryConfig {
 
 // Plan compiles a statement to its optimized logical plan.
 func (db *Database) Plan(query string, options ...QueryOption) (core.Node, error) {
-	return db.plan(query, makeConfig(options))
+	c, err := db.compile(query, makeConfig(options))
+	if err != nil {
+		return nil, err
+	}
+	return c.plan, nil
 }
 
-func (db *Database) plan(query string, cfg queryConfig) (core.Node, error) {
-	stmt, _, err := sql.Parse(query)
+// compiled is a statement after parse/bind/optimize: the plan, the
+// optimizer's rule trace, and the EXPLAIN mode of the statement prefix.
+type compiled struct {
+	plan  core.Node
+	trace []opt.RuleApplication
+	mode  sql.ExplainMode
+}
+
+func (db *Database) compile(query string, cfg queryConfig) (*compiled, error) {
+	start := time.Now()
+	stmt, mode, err := sql.Parse(query)
 	if err != nil {
+		db.reg.Counter("query_errors").Inc()
 		return nil, err
 	}
 	bound, err := bind.New(db.cat).Bind(stmt)
 	if err != nil {
+		db.reg.Counter("query_errors").Inc()
 		return nil, err
 	}
-	return db.opt.Optimize(bound, cfg.optOpts), nil
+	plan, trace := db.opt.OptimizeTraced(bound, cfg.optOpts)
+	db.reg.Histogram("optimize_latency").Observe(time.Since(start))
+	return &compiled{plan: plan, trace: trace, mode: mode}, nil
 }
 
 // execute runs an optimized plan.
-func (db *Database) execute(plan core.Node, cfg queryConfig) (*Result, error) {
+func (db *Database) execute(c *compiled, cfg queryConfig) (*Result, error) {
 	ctx := exec.NewContext(db.cat)
 	ctx.DOP = cfg.dop
+	if cfg.instrument {
+		ctx.Prof = exec.NewProfile()
+	}
 	start := time.Now()
-	res, err := exec.Run(plan, ctx)
+	res, err := exec.Run(c.plan, ctx)
+	elapsed := time.Since(start)
+	db.reg.Counter("queries").Inc()
+	db.reg.Histogram("execute_latency").Observe(elapsed)
 	if err != nil {
+		db.reg.Counter("query_errors").Inc()
 		return nil, err
 	}
-	elapsed := time.Since(start)
+	db.recordExecMetrics(ctx.Counters)
 
 	out := &Result{
 		Columns: make([]string, res.Schema.Len()),
 		Rows:    make([][]any, len(res.Rows)),
 		Elapsed: elapsed,
 		Stats: ExecStats{
-			RowsScanned:    ctx.Counters.RowsScanned,
-			Groups:         ctx.Counters.Groups,
-			InnerExecs:     ctx.Counters.InnerExecs,
-			ApplyExecs:     ctx.Counters.ApplyExecs,
-			ApplyCacheHits: ctx.Counters.ApplyCacheHits,
-			JoinProbes:     ctx.Counters.JoinProbes,
+			RowsScanned:        ctx.Counters.RowsScanned,
+			Groups:             ctx.Counters.Groups,
+			InnerExecs:         ctx.Counters.InnerExecs,
+			SerialGroupExecs:   ctx.Counters.SerialGroupExecs,
+			ParallelGroupExecs: ctx.Counters.ParallelGroupExecs,
+			ApplyExecs:         ctx.Counters.ApplyExecs,
+			ApplyCacheHits:     ctx.Counters.ApplyCacheHits,
+			JoinProbes:         ctx.Counters.JoinProbes,
 		},
+		Trace: toTrace(c.trace),
 		inner: res,
+		prof:  ctx.Prof,
 	}
 	for i, c := range res.Schema.Cols {
 		out.Columns[i] = c.QualifiedName()

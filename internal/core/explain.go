@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// FormatAnnotated renders the plan tree like Format, appending the
+// string returned by annot to each operator line (separated by two
+// spaces; empty annotations add nothing). EXPLAIN uses it to attach
+// cardinality/cost estimates, and EXPLAIN ANALYZE the actual row counts
+// and timings, without core depending on the stats or exec packages.
+func FormatAnnotated(n Node, annot func(Node) string) string {
+	var b strings.Builder
+	formatAnnotated(n, 0, annot, &b)
+	return b.String()
+}
+
+func formatAnnotated(n Node, depth int, annot func(Node) string, b *strings.Builder) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(n.Describe())
+	if a := annot(n); a != "" {
+		b.WriteString("  ")
+		b.WriteString(a)
+	}
+	b.WriteByte('\n')
+	for _, c := range n.Children() {
+		formatAnnotated(c, depth+1, annot, b)
+	}
+}
+
+// summaryDepth bounds how deep Summary descends before eliding; rule
+// traces want a glanceable shape, not a full dump.
+const summaryDepth = 4
+
+// Summary renders a compact one-line shape of the plan — operator names
+// nested as a term, leaf scans keeping their table — for optimizer rule
+// traces: "GApply(Join(Scan partsupp, Scan part), AggOp(GroupScan $g))".
+func Summary(n Node) string {
+	var b strings.Builder
+	summarize(n, 0, &b)
+	return b.String()
+}
+
+func summarize(n Node, depth int, b *strings.Builder) {
+	switch x := n.(type) {
+	case *Scan:
+		b.WriteString("Scan ")
+		b.WriteString(x.Table)
+		return
+	case *GroupScan:
+		b.WriteString("GroupScan $")
+		b.WriteString(x.Var)
+		return
+	}
+	// Operator name = first word of the Describe line.
+	name := n.Describe()
+	if i := strings.IndexByte(name, ' '); i > 0 {
+		name = name[:i]
+	}
+	b.WriteString(name)
+	ch := n.Children()
+	if len(ch) == 0 {
+		return
+	}
+	if depth >= summaryDepth {
+		b.WriteString("(…)")
+		return
+	}
+	b.WriteByte('(')
+	for i, c := range ch {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		summarize(c, depth+1, b)
+	}
+	b.WriteByte(')')
+}
+
+// PlanHash returns a stable 16-hex-digit fingerprint of the plan's
+// rendered shape (operators, predicates, physical hints — everything
+// Format prints). Two queries with the same hash executed the same
+// physical plan; the bench harness keys its per-query reports on it so
+// plan regressions are diffable across runs.
+func PlanHash(n Node) string {
+	h := fnv.New64a()
+	h.Write([]byte(Format(n)))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// CountOps returns how many nodes in the tree satisfy the predicate —
+// the plan-shape assertion helper tests use ("exactly one Scan of the
+// fact table", "no redundant Join").
+func CountOps(n Node, pred func(Node) bool) int {
+	count := 0
+	Walk(n, func(m Node) {
+		if pred(m) {
+			count++
+		}
+	})
+	return count
+}

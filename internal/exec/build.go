@@ -14,7 +14,23 @@ func Build(n core.Node, ctx *Context) (Iterator, error) {
 	return build(n, ctx, nil)
 }
 
+// build compiles one node (and, recursively, its subtree). When the
+// context carries a Profile, every compiled iterator is wrapped in an
+// instrumented probe keyed by its plan node; with a nil Profile the
+// iterators are returned bare, so disabled instrumentation costs
+// nothing at execution time.
 func build(n core.Node, ctx *Context, env compileEnv) (Iterator, error) {
+	it, err := buildNode(n, ctx, env)
+	if err != nil {
+		return nil, err
+	}
+	if ctx.Prof != nil {
+		it = ctx.Prof.wrap(n, it)
+	}
+	return it, nil
+}
+
+func buildNode(n core.Node, ctx *Context, env compileEnv) (Iterator, error) {
 	switch x := n.(type) {
 	case *core.Scan:
 		tab, err := ctx.Catalog.Lookup(x.Table)

@@ -7,6 +7,7 @@ package exec
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 
 	"gapplydb/internal/storage"
@@ -47,17 +48,28 @@ type Context struct {
 	// Counters are execution statistics used by tests and the benchmark
 	// harness to verify plan shapes (e.g. "the baseline joins twice").
 	Counters Counters
+
+	// Prof, when non-nil, makes Build wrap every iterator in an
+	// instrumented probe recording per-operator rows, loops and wall
+	// time — the data EXPLAIN ANALYZE renders. Nil (the default) keeps
+	// execution completely uninstrumented.
+	Prof *Profile
 }
 
-// Counters tallies work done during execution.
+// Counters tallies work done during execution. Every field must be an
+// int64 tally: Add and Sub merge them field-generically (via reflection)
+// so a newly added counter can never be silently dropped from the
+// parallel merge path.
 type Counters struct {
-	RowsScanned    int64 // base-table rows produced by scans
-	GroupScanRows  int64 // rows produced by group-variable scans
-	Groups         int64 // groups formed by GApply partitioning
-	InnerExecs     int64 // per-group query executions
-	ApplyExecs     int64 // correlated inner executions by Apply
-	ApplyCacheHits int64 // uncorrelated inners served from cache
-	JoinProbes     int64 // hash-join probe rows
+	RowsScanned        int64 // base-table rows produced by scans
+	GroupScanRows      int64 // rows produced by group-variable scans
+	Groups             int64 // groups formed by GApply partitioning
+	InnerExecs         int64 // per-group query executions
+	SerialGroupExecs   int64 // groups evaluated on the serial path
+	ParallelGroupExecs int64 // groups evaluated by worker-pool workers
+	ApplyExecs         int64 // correlated inner executions by Apply
+	ApplyCacheHits     int64 // uncorrelated inners served from cache
+	JoinProbes         int64 // hash-join probe rows
 }
 
 // NewContext returns a fresh execution context over a catalog.
@@ -67,8 +79,9 @@ func NewContext(cat *storage.Catalog) *Context {
 
 // fork returns a child context for a GApply worker: the same catalog and
 // DOP, a snapshot of the current bindings (so inners referencing an
-// enclosing group variable keep resolving), and zeroed Counters that the
-// spawning GApply merges back in partition order.
+// enclosing group variable keep resolving), and zeroed Counters (plus a
+// private Profile when the parent is instrumented) that the spawning
+// GApply merges back in partition order.
 func (c *Context) fork() *Context {
 	groups := make(map[string][]types.Row, len(c.groups))
 	for k, v := range c.groups {
@@ -76,35 +89,35 @@ func (c *Context) fork() *Context {
 	}
 	child := &Context{Catalog: c.Catalog, DOP: c.DOP, groups: groups}
 	child.outer = append(child.outer, c.outer...)
+	if c.Prof != nil {
+		child.Prof = NewProfile()
+	}
 	return child
 }
 
-// sub returns the per-field difference c - o: the work done since the
+// Sub returns the per-field difference c - o: the work done since the
 // snapshot o was taken.
-func (c Counters) sub(o Counters) Counters {
-	return Counters{
-		RowsScanned:    c.RowsScanned - o.RowsScanned,
-		GroupScanRows:  c.GroupScanRows - o.GroupScanRows,
-		Groups:         c.Groups - o.Groups,
-		InnerExecs:     c.InnerExecs - o.InnerExecs,
-		ApplyExecs:     c.ApplyExecs - o.ApplyExecs,
-		ApplyCacheHits: c.ApplyCacheHits - o.ApplyCacheHits,
-		JoinProbes:     c.JoinProbes - o.JoinProbes,
+func (c Counters) Sub(o Counters) Counters {
+	out := c
+	dv := reflect.ValueOf(&out).Elem()
+	sv := reflect.ValueOf(o)
+	for i := 0; i < dv.NumField(); i++ {
+		dv.Field(i).SetInt(dv.Field(i).Int() - sv.Field(i).Int())
 	}
+	return out
 }
 
-// add merges another tally into c. Parallel GApply calls this from the
-// consuming goroutine only, once per finished group, so counter totals
-// are exact and race-free without atomics — plan-shape assertions see
-// the same values as under serial execution.
-func (c *Counters) add(o Counters) {
-	c.RowsScanned += o.RowsScanned
-	c.GroupScanRows += o.GroupScanRows
-	c.Groups += o.Groups
-	c.InnerExecs += o.InnerExecs
-	c.ApplyExecs += o.ApplyExecs
-	c.ApplyCacheHits += o.ApplyCacheHits
-	c.JoinProbes += o.JoinProbes
+// Add merges another tally into c, field by field over the whole struct.
+// Parallel GApply calls this from the consuming goroutine only, once per
+// finished group, so counter totals are exact and race-free without
+// atomics — plan-shape assertions see the same values as under serial
+// execution.
+func (c *Counters) Add(o Counters) {
+	dv := reflect.ValueOf(c).Elem()
+	sv := reflect.ValueOf(o)
+	for i := 0; i < dv.NumField(); i++ {
+		dv.Field(i).SetInt(dv.Field(i).Int() + sv.Field(i).Int())
+	}
 }
 
 // BindGroup binds rows to a group variable and invalidates caches.

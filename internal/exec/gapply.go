@@ -171,6 +171,7 @@ func (g *gapply) advance() (bool, error) {
 		g.ctx.BindGroup(g.groupVar, group)
 		g.keyVals = group[0].Project(g.ords)
 		g.ctx.Counters.InnerExecs++
+		g.ctx.Counters.SerialGroupExecs++
 		if err := g.inner.Open(); err != nil {
 			return false, err
 		}
@@ -229,7 +230,10 @@ func (g *gapply) Close() error {
 type parGroup struct {
 	rows  []types.Row
 	delta Counters
-	err   error
+	// prof is the group's per-operator profile delta (nil when
+	// instrumentation is disabled), merged like delta.
+	prof map[core.Node]NodeStats
+	err  error
 }
 
 // parRun is the state of one parallel execution phase. Workers claim
@@ -326,8 +330,13 @@ func (g *gapply) startWorkers(dop int) *parRun {
 // columns prefixed — the same row layout the serial phase streams.
 func evalGroup(g *gapply, wctx *Context, inner Iterator, group []types.Row) parGroup {
 	before := wctx.Counters
+	var profBefore map[core.Node]NodeStats
+	if wctx.Prof != nil {
+		profBefore = wctx.Prof.snapshot()
+	}
 	wctx.BindGroup(g.groupVar, group)
 	wctx.Counters.InnerExecs++
+	wctx.Counters.ParallelGroupExecs++
 	key := group[0].Project(g.ords)
 	rows, err := Drain(inner)
 	out := parGroup{err: err}
@@ -337,7 +346,10 @@ func evalGroup(g *gapply, wctx *Context, inner Iterator, group []types.Row) parG
 			out.rows[i] = key.Concat(r)
 		}
 	}
-	out.delta = wctx.Counters.sub(before)
+	out.delta = wctx.Counters.Sub(before)
+	if wctx.Prof != nil {
+		out.prof = wctx.Prof.since(profBefore)
+	}
 	return out
 }
 
@@ -359,7 +371,10 @@ func (g *gapply) parNext() (types.Row, bool, error) {
 		res := g.par.results[i]
 		g.par.results[i] = parGroup{}
 		<-g.par.window
-		g.ctx.Counters.add(res.delta)
+		g.ctx.Counters.Add(res.delta)
+		if g.ctx.Prof != nil && res.prof != nil {
+			g.ctx.Prof.merge(res.prof)
+		}
 		if res.err != nil {
 			return nil, false, res.err
 		}

@@ -54,7 +54,20 @@ func TestGApplyParallelMatchesSerial(t *testing.T) {
 					t.Fatalf("%s dop=%d: row %d = %s, want %s", s.name, dop, i, got[i], want[i])
 				}
 			}
-			if parCounters != serialCounters {
+			// The serial/parallel split counters are the one intentional
+			// difference between the paths: every group must move from
+			// the serial tally to the parallel one, totals preserved.
+			if parCounters.SerialGroupExecs != 0 ||
+				parCounters.ParallelGroupExecs != serialCounters.SerialGroupExecs {
+				t.Errorf("%s dop=%d: group-exec split %d/%d, want 0/%d",
+					s.name, dop, parCounters.SerialGroupExecs,
+					parCounters.ParallelGroupExecs, serialCounters.SerialGroupExecs)
+			}
+			norm := func(c Counters) Counters {
+				c.SerialGroupExecs, c.ParallelGroupExecs = 0, 0
+				return c
+			}
+			if norm(parCounters) != norm(serialCounters) {
 				t.Errorf("%s dop=%d: counters %+v, want %+v", s.name, dop, parCounters, serialCounters)
 			}
 		}

@@ -1,0 +1,140 @@
+package exec
+
+import (
+	"time"
+
+	"gapplydb/internal/core"
+	"gapplydb/internal/types"
+)
+
+// NodeStats is the runtime profile of one plan operator: what EXPLAIN
+// ANALYZE prints next to the estimates.
+type NodeStats struct {
+	// Rows is how many rows the operator produced across all loops.
+	Rows int64
+	// Opens counts Open calls — the operator's loop count (per-group
+	// query operators re-open once per group, apply inners once per
+	// outer row or binding version).
+	Opens int64
+	// Time is cumulative wall time spent inside the operator's Open,
+	// Next and Close, children included (inclusive time, like EXPLAIN
+	// ANALYZE in mainstream engines). Under parallel GApply the workers'
+	// times sum, so a node's Time may exceed the query's elapsed time.
+	Time time.Duration
+}
+
+func (s *NodeStats) add(o NodeStats) {
+	s.Rows += o.Rows
+	s.Opens += o.Opens
+	s.Time += o.Time
+}
+
+// Profile collects per-operator runtime statistics for one execution,
+// keyed by the logical plan node the iterator was compiled from. Like
+// the Context that owns it, a Profile belongs to a single goroutine:
+// parallel GApply forks a private Profile per worker and merges each
+// group's delta back in partition order, exactly as Counters are merged,
+// so totals are race-free and identical at every degree of parallelism.
+//
+// Instrumentation is strictly opt-in: when Context.Prof is nil, build
+// inserts no probes and execution runs the same iterators as before —
+// the disabled path costs nothing.
+type Profile struct {
+	stats map[core.Node]*NodeStats
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile {
+	return &Profile{stats: make(map[core.Node]*NodeStats)}
+}
+
+// node returns the stats cell for a plan node, creating it on first use.
+func (p *Profile) node(n core.Node) *NodeStats {
+	s := p.stats[n]
+	if s == nil {
+		s = &NodeStats{}
+		p.stats[n] = s
+	}
+	return s
+}
+
+// Stats returns the recorded stats for a plan node; the zero value if
+// the node never executed (or p is nil).
+func (p *Profile) Stats(n core.Node) NodeStats {
+	if p == nil {
+		return NodeStats{}
+	}
+	if s := p.stats[n]; s != nil {
+		return *s
+	}
+	return NodeStats{}
+}
+
+// wrap instruments an iterator compiled from plan node n.
+func (p *Profile) wrap(n core.Node, it Iterator) Iterator {
+	return &probe{inner: it, stats: p.node(n)}
+}
+
+// snapshot copies the current values, for later delta computation.
+func (p *Profile) snapshot() map[core.Node]NodeStats {
+	snap := make(map[core.Node]NodeStats, len(p.stats))
+	for n, s := range p.stats {
+		snap[n] = *s
+	}
+	return snap
+}
+
+// since returns the per-node work done after the snapshot was taken.
+func (p *Profile) since(snap map[core.Node]NodeStats) map[core.Node]NodeStats {
+	delta := make(map[core.Node]NodeStats, len(p.stats))
+	for n, s := range p.stats {
+		prev := snap[n] // zero value for nodes first seen after the snapshot
+		d := NodeStats{Rows: s.Rows - prev.Rows, Opens: s.Opens - prev.Opens, Time: s.Time - prev.Time}
+		if d != (NodeStats{}) {
+			delta[n] = d
+		}
+	}
+	return delta
+}
+
+// merge adds a delta (a finished group's work, from a worker's private
+// profile) into the profile. Called only from the consuming goroutine,
+// mirroring Counters.Add.
+func (p *Profile) merge(delta map[core.Node]NodeStats) {
+	for n, d := range delta {
+		p.node(n).add(d)
+	}
+}
+
+// probe is the instrumented-iterator wrapper: it forwards every call to
+// the wrapped operator, timing it and counting produced rows and Open
+// loops. Probes nest, so a parent's Time includes its children's.
+type probe struct {
+	inner Iterator
+	stats *NodeStats
+}
+
+func (p *probe) Open() error {
+	start := time.Now()
+	err := p.inner.Open()
+	p.stats.Time += time.Since(start)
+	p.stats.Opens++
+	return err
+}
+
+func (p *probe) Next() (types.Row, bool, error) {
+	start := time.Now()
+	r, ok, err := p.inner.Next()
+	p.stats.Time += time.Since(start)
+	if ok {
+		p.stats.Rows++
+	}
+	return r, ok, err
+}
+
+func (p *probe) Close() error {
+	start := time.Now()
+	err := p.inner.Close()
+	p.stats.Time += time.Since(start)
+	return err
+}

@@ -1,0 +1,244 @@
+// Package metrics is a small, dependency-free metrics layer for the
+// engine: atomic counters and fixed-bucket latency histograms collected
+// into a registry, with a text renderer for the shell's \metrics command
+// and an optional expvar publisher for scraping.
+//
+// Everything is safe for concurrent use: recording is lock-free
+// (sync/atomic), and Snapshot takes a consistent-enough point-in-time
+// copy for reporting (individual values are atomically read; the set of
+// instruments is guarded by a mutex).
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic tally.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n may be any delta; the engine only adds non-negatives).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current tally.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// DefaultLatencyBuckets are the upper bounds the engine's latency
+// histograms use: decades from 100µs to 10s, plus the implicit +Inf.
+var DefaultLatencyBuckets = []time.Duration{
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+	10 * time.Second,
+}
+
+// Histogram tallies durations into fixed buckets. Buckets are
+// cumulative-free (each observation lands in exactly one bucket, the
+// first whose upper bound contains it; observations beyond the last
+// bound land in the overflow bucket).
+type Histogram struct {
+	bounds []time.Duration
+	counts []atomic.Int64 // len(bounds)+1; last is overflow (+Inf)
+	count  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+}
+
+// NewHistogram builds a histogram over ascending upper bounds; nil
+// bounds means DefaultLatencyBuckets.
+func NewHistogram(bounds []time.Duration) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return d <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     time.Duration
+	Buckets []BucketCount
+}
+
+// BucketCount is one histogram bucket: observations ≤ UpperBound (and
+// greater than the previous bound). UpperBound 0 marks the overflow
+// (+Inf) bucket.
+type BucketCount struct {
+	UpperBound time.Duration
+	Count      int64
+}
+
+// Mean returns the average observation, or 0 when empty.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	out := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     time.Duration(h.sum.Load()),
+		Buckets: make([]BucketCount, len(h.counts)),
+	}
+	for i := range h.bounds {
+		out.Buckets[i] = BucketCount{UpperBound: h.bounds[i], Count: h.counts[i].Load()}
+	}
+	out.Buckets[len(h.bounds)] = BucketCount{Count: h.counts[len(h.bounds)].Load()}
+	return out
+}
+
+// Registry is a named collection of instruments. Instruments are
+// created on first use and live for the registry's lifetime, so callers
+// may cache the returned pointers and record without further lookups.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it at zero on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram (default latency buckets),
+// creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(nil)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry.
+type Snapshot struct {
+	Counters   map[string]int64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot copies the registry's current values.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for n, c := range r.counters {
+		out.Counters[n] = c.Value()
+	}
+	for n, h := range r.histograms {
+		out.Histograms[n] = h.snapshot()
+	}
+	return out
+}
+
+// Ratio returns counter a over (a+b) as a fraction in [0,1], or 0 when
+// both are zero — e.g. Ratio("apply_cache_hits", "apply_execs") is the
+// apply cache hit ratio.
+func (s Snapshot) Ratio(a, b string) float64 {
+	x, y := s.Counters[a], s.Counters[b]
+	if x+y == 0 {
+		return 0
+	}
+	return float64(x) / float64(x+y)
+}
+
+// String renders the snapshot as aligned text, counters first then
+// histograms, each sorted by name — the \metrics output.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	w := 0
+	for _, n := range names {
+		if len(n) > w {
+			w = len(n)
+		}
+	}
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-*s %d\n", w, n, s.Counters[n])
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		fmt.Fprintf(&b, "%s: count=%d mean=%s\n", n, h.Count, h.Mean())
+		for _, bk := range h.Buckets {
+			if bk.Count == 0 {
+				continue
+			}
+			bound := "+Inf"
+			if bk.UpperBound > 0 {
+				bound = bk.UpperBound.String()
+			}
+			fmt.Fprintf(&b, "  <= %-8s %d\n", bound, bk.Count)
+		}
+	}
+	return b.String()
+}
+
+var (
+	publishMu  sync.Mutex
+	publishSet = map[string]bool{}
+)
+
+// Publish exposes the registry under the given expvar name as a JSON
+// snapshot (recomputed per read). Publishing the same name twice is a
+// no-op rather than the panic expvar.Publish would raise, so callers can
+// publish unconditionally at startup.
+func Publish(name string, r *Registry) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if publishSet[name] || expvar.Get(name) != nil {
+		return
+	}
+	publishSet[name] = true
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("Value = %d, want 42", c.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]time.Duration{time.Millisecond, time.Second})
+	h.Observe(time.Microsecond)       // bucket 0
+	h.Observe(time.Millisecond)       // bucket 0 (inclusive upper bound)
+	h.Observe(100 * time.Millisecond) // bucket 1
+	h.Observe(time.Minute)            // overflow
+	s := h.snapshot()
+	if s.Count != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count)
+	}
+	want := []int64{2, 1, 1}
+	for i, c := range s.Buckets {
+		if c.Count != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c.Count, want[i])
+		}
+	}
+	if s.Buckets[2].UpperBound != 0 {
+		t.Errorf("overflow bucket bound = %v, want 0 (+Inf)", s.Buckets[2].UpperBound)
+	}
+	if got := s.Mean(); got <= 0 {
+		t.Errorf("Mean = %v, want > 0", got)
+	}
+}
+
+func TestRegistrySnapshotAndRatio(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("queries") != r.Counter("queries") {
+		t.Fatal("Counter must return a stable instrument per name")
+	}
+	r.Counter("queries").Add(3)
+	r.Counter("apply_cache_hits").Add(3)
+	r.Counter("apply_execs").Add(1)
+	r.Histogram("execute_latency").Observe(2 * time.Millisecond)
+
+	s := r.Snapshot()
+	if s.Counters["queries"] != 3 {
+		t.Errorf("queries = %d, want 3", s.Counters["queries"])
+	}
+	if got := s.Ratio("apply_cache_hits", "apply_execs"); got != 0.75 {
+		t.Errorf("Ratio = %v, want 0.75", got)
+	}
+	if got := s.Ratio("nope", "nada"); got != 0 {
+		t.Errorf("empty Ratio = %v, want 0", got)
+	}
+	text := s.String()
+	for _, want := range []string{"queries", "execute_latency", "count=1"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("String() missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestPublishIdempotent(t *testing.T) {
+	r := NewRegistry()
+	Publish("metrics_test_registry", r)
+	Publish("metrics_test_registry", r) // must not panic
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("queries").Inc()
+				r.Histogram("lat").Observe(time.Duration(j) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["queries"] != 8000 || s.Histograms["lat"].Count != 8000 {
+		t.Fatalf("lost updates: %+v", s.Counters)
+	}
+}

@@ -49,14 +49,46 @@ func New(cat *storage.Catalog, st *stats.Stats) *Optimizer {
 // maxPasses bounds rule iteration; real plans converge in 2-3 passes.
 const maxPasses = 12
 
+// RuleApplication is one entry of the optimizer's trace: a rule that
+// matched the plan, whether its rewrite was kept, and — for cost-based
+// rules — the cost comparison that decided it. Table 1's "which rule
+// helped" experiments read these instead of inferring rule activity from
+// timings.
+type RuleApplication struct {
+	// Rule is the rule identifier (see gapplydb.RuleNames).
+	Rule string
+	// Pass is the 1-based optimization pass the rule fired in.
+	Pass int
+	// CostBased marks rules decided by the §4.4 cost model.
+	CostBased bool
+	// Forced marks cost-based rules applied regardless of cost.
+	Forced bool
+	// Accepted reports whether the rewrite was kept.
+	Accepted bool
+	// CostBefore/CostAfter are the cost model's verdict, set only for
+	// cost-based (non-forced) rules.
+	CostBefore, CostAfter float64
+	// Before/After are compact plan-shape summaries (core.Summary).
+	Before, After string
+}
+
 // Optimize rewrites the plan under the given options.
 func (o *Optimizer) Optimize(plan core.Node, opts Options) core.Node {
+	out, _ := o.OptimizeTraced(plan, opts)
+	return out
+}
+
+// OptimizeTraced rewrites the plan and records every rule application —
+// accepted or rejected — in optimization order. The trace is nil when
+// optimization is skipped and empty when no rule matched.
+func (o *Optimizer) OptimizeTraced(plan core.Node, opts Options) (core.Node, []RuleApplication) {
 	if opts.SkipOptimization {
-		return o.physical(plan, opts)
+		return o.physical(plan, opts), nil
 	}
 	ctx := &rules.Context{Catalog: o.cat}
 	enabled := func(r rules.Rule) bool { return !opts.DisableRules[r.Name()] }
 	costBased := rules.CostBasedNames()
+	var trace []RuleApplication
 
 	for pass := 0; pass < maxPasses; pass++ {
 		changed := false
@@ -68,12 +100,25 @@ func (o *Optimizer) Optimize(plan core.Node, opts Options) core.Node {
 			if !fired {
 				continue
 			}
-			if costBased[r.Name()] && !opts.ForceRules[r.Name()] {
+			entry := RuleApplication{
+				Rule:      r.Name(),
+				Pass:      pass + 1,
+				CostBased: costBased[r.Name()],
+				Forced:    costBased[r.Name()] && opts.ForceRules[r.Name()],
+				Before:    core.Summary(plan),
+				After:     core.Summary(candidate),
+			}
+			if entry.CostBased && !entry.Forced {
 				// Keep the rewrite only when the cost model prefers it.
-				if o.est.Estimate(candidate).Cost >= o.est.Estimate(plan).Cost {
+				entry.CostBefore = o.est.Estimate(plan).Cost
+				entry.CostAfter = o.est.Estimate(candidate).Cost
+				if entry.CostAfter >= entry.CostBefore {
+					trace = append(trace, entry)
 					continue
 				}
 			}
+			entry.Accepted = true
+			trace = append(trace, entry)
 			plan = candidate
 			changed = true
 		}
@@ -81,7 +126,7 @@ func (o *Optimizer) Optimize(plan core.Node, opts Options) core.Node {
 			break
 		}
 	}
-	return o.physical(plan, opts)
+	return o.physical(plan, opts), trace
 }
 
 // physical assigns physical strategies: the GApply partitioning (hash vs

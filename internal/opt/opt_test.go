@@ -256,3 +256,58 @@ func TestJoinMethodsAssigned(t *testing.T) {
 		}
 	})
 }
+
+func TestOptimizeTraced(t *testing.T) {
+	cat, o := setup(t)
+
+	// The Q1 shape fires pushdown + the always-beneficial GApply rules;
+	// every accepted entry must carry pass numbers and plan summaries.
+	plan, trace := o.OptimizeTraced(bindQ(t, cat, q1), Options{})
+	if len(trace) == 0 {
+		t.Fatalf("no rule applications recorded for:\n%s", core.Format(plan))
+	}
+	accepted := map[string]bool{}
+	for _, e := range trace {
+		if e.Rule == "" || e.Pass < 1 || e.Pass > maxPasses {
+			t.Errorf("malformed entry: %+v", e)
+		}
+		if e.Before == "" || e.After == "" {
+			t.Errorf("entry %s missing plan summaries: %+v", e.Rule, e)
+		}
+		if e.Accepted {
+			accepted[e.Rule] = true
+		}
+	}
+	if !accepted["projection-before-gapply"] {
+		t.Errorf("projection-before-gapply not in accepted trace: %+v", trace)
+	}
+
+	// A forced cost-based rule must be traced as forced and accepted.
+	_, forcedTrace := o.OptimizeTraced(bindQ(t, cat, q1), Options{
+		ForceRules: map[string]bool{rules.GroupSelectionExists{}.Name(): true},
+	})
+	for _, e := range forcedTrace {
+		if e.CostBased && e.Forced && !e.Accepted {
+			t.Errorf("forced rule %s rejected: %+v", e.Rule, e)
+		}
+	}
+
+	// Rejected cost-based rules record the cost comparison that lost.
+	_, rejTrace := o.OptimizeTraced(bindQ(t, cat, q1), Options{})
+	for _, e := range rejTrace {
+		if e.CostBased && !e.Forced && !e.Accepted && e.CostAfter < e.CostBefore {
+			t.Errorf("rejected rule %s has winning cost: %+v", e.Rule, e)
+		}
+	}
+
+	// Skipped optimization yields no trace.
+	if _, tr := o.OptimizeTraced(bindQ(t, cat, q1), Options{SkipOptimization: true}); tr != nil {
+		t.Errorf("skip-optimization recorded a trace: %+v", tr)
+	}
+
+	// Optimize and OptimizeTraced must agree on the final plan.
+	want := core.Format(o.Optimize(bindQ(t, cat, q1), Options{}))
+	if got := core.Format(plan); got != want {
+		t.Errorf("traced plan differs:\n%s\nvs\n%s", got, want)
+	}
+}

@@ -3,7 +3,6 @@ package rules
 import (
 	"fmt"
 	"strings"
-	"sync/atomic"
 
 	"gapplydb/internal/core"
 )
@@ -29,10 +28,8 @@ type Decorrelate struct{}
 // Name implements Rule.
 func (Decorrelate) Name() string { return "decorrelate-scalar-agg" }
 
-var decorrelateSeq atomic.Int64
-
 // Apply implements Rule.
-func (Decorrelate) Apply(n core.Node, _ *Context) (core.Node, bool) {
+func (Decorrelate) Apply(n core.Node, ctx *Context) (core.Node, bool) {
 	fired := false
 	out := core.Transform(n, func(m core.Node) core.Node {
 		ap, ok := m.(*core.Apply)
@@ -109,7 +106,7 @@ func (Decorrelate) Apply(n core.Node, _ *Context) (core.Node, bool) {
 				return m
 			}
 		}
-		qual := fmt.Sprintf("__dc%d", decorrelateSeq.Add(1))
+		qual := fmt.Sprintf("__dc%d", ctx.NextSeq())
 		groupCols := make([]*core.ColRef, len(corr))
 		exprs := make([]core.Expr, 0, len(corr)+1)
 		names := make([]string, 0, len(corr)+1)

@@ -28,9 +28,22 @@ import (
 )
 
 // Context carries what rules need to fire: catalog metadata (foreign
-// keys for invariant grouping).
+// keys for invariant grouping) and a per-optimization name sequence.
 type Context struct {
 	Catalog *storage.Catalog
+
+	// seq numbers generated qualifiers (e.g. decorrelation's __dcN)
+	// within one optimization run. Scoping it to the Context — not a
+	// process global — keeps a statement's optimized plan (and therefore
+	// its EXPLAIN text and plan hash) identical no matter how many
+	// queries were planned before it.
+	seq int64
+}
+
+// NextSeq returns the next per-run sequence number, starting at 1.
+func (c *Context) NextSeq() int64 {
+	c.seq++
+	return c.seq
 }
 
 // Rule is one transformation.

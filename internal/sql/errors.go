@@ -1,0 +1,23 @@
+package sql
+
+import "fmt"
+
+// ParseError is a lexing or parsing failure with the source coordinates
+// of the offending token. Shells unwrap it (errors.As) to point at the
+// exact line and column instead of echoing an opaque string.
+type ParseError struct {
+	Msg  string // what went wrong, without position decoration
+	Pos  int    // byte offset into the statement
+	Line int    // 1-based
+	Col  int    // 1-based
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sql: %s (line %d, column %d)", e.Msg, e.Line, e.Col)
+}
+
+// newParseError builds a ParseError at the given offset of src.
+func newParseError(src string, pos int, format string, args ...interface{}) *ParseError {
+	line, col := Position(src, pos)
+	return &ParseError{Msg: fmt.Sprintf(format, args...), Pos: pos, Line: line, Col: col}
+}

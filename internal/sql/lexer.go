@@ -9,7 +9,6 @@
 package sql
 
 import (
-	"fmt"
 	"strings"
 	"unicode"
 )
@@ -41,7 +40,26 @@ var keywords = map[string]bool{
 	"distinct": true, "null": true, "asc": true, "desc": true,
 	"gapply": true, "true": true, "false": true,
 	"inner": true, "join": true, "on": true, "left": true, "outer": true,
-	"explain": true,
+	"explain": true, "analyze": true,
+}
+
+// Position converts a byte offset in a statement into 1-based line and
+// column numbers, the coordinates parse errors report and shells use to
+// point at the offending token.
+func Position(src string, offset int) (line, col int) {
+	if offset > len(src) {
+		offset = len(src)
+	}
+	line, col = 1, 1
+	for i := 0; i < offset; i++ {
+		if src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
 }
 
 // Lex tokenizes the input. It returns an error for unterminated strings
@@ -106,7 +124,7 @@ func Lex(input string) ([]Token, error) {
 				i++
 			}
 			if !closed {
-				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+				return nil, newParseError(input, start, "unterminated string literal")
 			}
 			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start})
 		case c == '<':
@@ -130,7 +148,7 @@ func Lex(input string) ([]Token, error) {
 				toks = append(toks, Token{Kind: TokOp, Text: "<>", Pos: i})
 				i += 2
 			} else {
-				return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+				return nil, newParseError(input, i, "unexpected character %q", c)
 			}
 		case c == '=' || c == '+' || c == '-' || c == '*' || c == '/':
 			toks = append(toks, Token{Kind: TokOp, Text: string(c), Pos: i})
@@ -139,7 +157,7 @@ func Lex(input string) ([]Token, error) {
 			toks = append(toks, Token{Kind: TokPunct, Text: string(c), Pos: i})
 			i++
 		default:
-			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+			return nil, newParseError(input, i, "unexpected character %q", c)
 		}
 	}
 	toks = append(toks, Token{Kind: TokEOF, Pos: n})

@@ -6,30 +6,49 @@ import (
 	"strings"
 )
 
+// ExplainMode reports which EXPLAIN prefix, if any, a statement carries.
+type ExplainMode int
+
+const (
+	// ExplainNone: a plain statement, execute it.
+	ExplainNone ExplainMode = iota
+	// ExplainPlan: EXPLAIN — render the optimized plan, do not execute.
+	ExplainPlan
+	// ExplainAnalyze: EXPLAIN ANALYZE — execute with per-operator
+	// instrumentation and render the plan with actual row counts and
+	// timings.
+	ExplainAnalyze
+)
+
 // Parse parses a single statement (optionally terminated by ';').
-// An optional leading EXPLAIN is reported through the second result.
-func Parse(input string) (*SelectStmt, bool, error) {
+// An optional leading EXPLAIN [ANALYZE] is reported through the second
+// result.
+func Parse(input string) (*SelectStmt, ExplainMode, error) {
 	toks, err := Lex(input)
 	if err != nil {
-		return nil, false, err
+		return nil, ExplainNone, err
 	}
 	p := &parser{toks: toks, src: input}
-	explain := false
+	mode := ExplainNone
 	if p.atKeyword("explain") {
 		p.next()
-		explain = true
+		mode = ExplainPlan
+		if p.atKeyword("analyze") {
+			p.next()
+			mode = ExplainAnalyze
+		}
 	}
 	stmt, err := p.parseSelect()
 	if err != nil {
-		return nil, false, err
+		return nil, ExplainNone, err
 	}
 	if p.atPunct(";") {
 		p.next()
 	}
 	if p.peek().Kind != TokEOF {
-		return nil, false, p.errorf("unexpected input after statement: %q", p.peek().Text)
+		return nil, ExplainNone, p.errorf("unexpected input after statement: %q", p.peek().Text)
 	}
-	return stmt, explain, nil
+	return stmt, mode, nil
 }
 
 type parser struct {
@@ -38,8 +57,8 @@ type parser struct {
 	src  string
 }
 
-func (p *parser) peek() Token  { return p.toks[p.pos] }
-func (p *parser) next() Token  { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
 func (p *parser) atKeyword(k string) bool {
 	t := p.peek()
 	return t.Kind == TokKeyword && t.Text == k
@@ -54,7 +73,7 @@ func (p *parser) atOp(s string) bool {
 }
 
 func (p *parser) errorf(format string, args ...interface{}) error {
-	return fmt.Errorf("sql: %s (near offset %d)", fmt.Sprintf(format, args...), p.peek().Pos)
+	return newParseError(p.src, p.peek().Pos, format, args...)
 }
 
 func (p *parser) expectKeyword(k string) error {

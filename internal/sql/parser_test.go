@@ -275,14 +275,38 @@ func TestParseAggDistinctAndFuncs(t *testing.T) {
 }
 
 func TestParseExplainAndSemicolon(t *testing.T) {
-	_, explain, err := Parse("explain select 1 from part;")
-	if err != nil || !explain {
-		t.Errorf("explain = %v, err %v", explain, err)
+	_, mode, err := Parse("explain select 1 from part;")
+	if err != nil || mode != ExplainPlan {
+		t.Errorf("explain mode = %v, err %v", mode, err)
 	}
-	_, explain, _ = Parse("select 1 from part")
-	if explain {
+	_, mode, err = Parse("EXPLAIN ANALYZE select 1 from part;")
+	if err != nil || mode != ExplainAnalyze {
+		t.Errorf("explain analyze mode = %v, err %v", mode, err)
+	}
+	_, mode, _ = Parse("select 1 from part")
+	if mode != ExplainNone {
 		t.Error("no explain keyword")
 	}
+}
+
+func TestParseErrorPosition(t *testing.T) {
+	_, _, err := Parse("select 1\nfrom part\nwhere +")
+	var pe *ParseError
+	if !errorsAs(err, &pe) {
+		t.Fatalf("error %T is not a *ParseError: %v", err, err)
+	}
+	if pe.Line != 3 || pe.Col != 7 {
+		t.Errorf("position = line %d col %d, want line 3 col 7 (%v)", pe.Line, pe.Col, err)
+	}
+}
+
+// errorsAs avoids importing errors just for one assertion.
+func errorsAs(err error, target **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*target = pe
+	}
+	return ok
 }
 
 func TestParseErrors(t *testing.T) {

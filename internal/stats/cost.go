@@ -38,13 +38,38 @@ type Estimator struct {
 	// per-group query under the §4.4 uniformity assumption; it is set
 	// only on the copied estimator estimateGApply descends with.
 	groupRows float64
+
+	// memo, when non-nil, records the estimate of every node visited —
+	// set only on the copied estimator EstimateAll descends with, so the
+	// shared estimator stays immutable under concurrent planning.
+	memo map[core.Node]Estimate
 }
 
 // NewEstimator wraps stats for cost estimation.
 func NewEstimator(s *Stats) *Estimator { return &Estimator{Stats: s} }
 
+// EstimateAll computes the estimate of every node in the plan in one
+// walk, keyed by node identity. Unlike calling Estimate per subtree, the
+// per-group query's nodes are costed in context (GroupScan at the §4.4
+// average group size, not 1 row) — the numbers EXPLAIN prints next to
+// each operator.
+func (e *Estimator) EstimateAll(n core.Node) map[core.Node]Estimate {
+	sub := *e
+	sub.memo = make(map[core.Node]Estimate)
+	sub.Estimate(n)
+	return sub.memo
+}
+
 // Estimate computes the estimate for a plan tree.
 func (e *Estimator) Estimate(n core.Node) Estimate {
+	est := e.estimate(n)
+	if e.memo != nil {
+		e.memo[n] = est
+	}
+	return est
+}
+
+func (e *Estimator) estimate(n core.Node) Estimate {
 	switch x := n.(type) {
 	case *core.Scan:
 		rows := float64(e.Stats.TableRows(x.Table))
