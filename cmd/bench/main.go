@@ -26,11 +26,13 @@ func main() {
 	repeats := flag.Int("repeats", 3, "runs per measurement (min is kept)")
 	exp := flag.String("experiment", "all", "figure8 | table1 | clientsim | none | all")
 	dop := flag.Int("dop", 0, "GApply degree of parallelism (0 = GOMAXPROCS, 1 = serial)")
+	timeout := flag.Duration("timeout", 0, "per-query wall-clock limit (0 = unlimited); a query past it fails instead of hanging the run")
 	jsonPath := flag.String("json", "", "write per-query JSON reports (plan hash, trace, operator timings) to this file")
 	flag.Parse()
 
 	experiments.Repeats = *repeats
 	experiments.DOP = *dop
+	experiments.Timeout = *timeout
 	fmt.Printf("loading TPC-H at scale factor %g...\n", *sf)
 	start := time.Now()
 	db, err := gapplydb.OpenTPCH(*sf)

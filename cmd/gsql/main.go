@@ -10,7 +10,9 @@
 // every operator with actual rows, loop counts and wall time.
 //
 // Meta commands: \dt lists tables, \explain <query> explains a
-// one-line query, \metrics dumps the session's metrics, \q quits.
+// one-line query, \metrics dumps the session's metrics, \timeout <dur>
+// sets a per-statement wall-clock limit (\timeout off clears it), \q
+// quits. Ctrl-C while a statement runs cancels just that statement.
 //
 // Usage:
 //
@@ -22,13 +24,16 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
+	"unicode/utf8"
 
 	"gapplydb"
 	"gapplydb/internal/sql"
@@ -91,6 +96,7 @@ type shell struct {
 	db      *gapplydb.Database
 	stats   bool
 	slowlog time.Duration
+	timeout time.Duration // per-statement wall-clock limit; 0 = none
 }
 
 // meta handles a backslash command (or bare quit/exit/blank line);
@@ -107,6 +113,26 @@ func (s *shell) meta(cmd string, w io.Writer) bool {
 		}
 	case cmd == `\metrics`:
 		fmt.Fprint(w, s.db.Metrics().String())
+	case cmd == `\timeout`:
+		if s.timeout == 0 {
+			fmt.Fprintln(w, "timeout: off")
+		} else {
+			fmt.Fprintf(w, "timeout: %v\n", s.timeout)
+		}
+	case strings.HasPrefix(cmd, `\timeout `):
+		arg := strings.TrimSpace(cmd[len(`\timeout `):])
+		if arg == "off" || arg == "0" {
+			s.timeout = 0
+			fmt.Fprintln(w, "timeout: off")
+			break
+		}
+		d, err := time.ParseDuration(arg)
+		if err != nil || d < 0 {
+			fmt.Fprintf(w, "usage: \\timeout <duration|off>  (e.g. \\timeout 500ms)\n")
+			break
+		}
+		s.timeout = d
+		fmt.Fprintf(w, "timeout: %v\n", s.timeout)
 	case strings.HasPrefix(cmd, `\explain `):
 		q := strings.TrimSuffix(strings.TrimSpace(cmd[len(`\explain `):]), ";")
 		e, err := s.db.ExplainPlan(q)
@@ -121,13 +147,29 @@ func (s *shell) meta(cmd string, w io.Writer) bool {
 	return true
 }
 
-// run executes one terminated statement and prints its result.
+// run executes one terminated statement and prints its result. The
+// statement runs under a context that Ctrl-C cancels (the interrupt is
+// scoped to the statement: the shell survives and prompts again) and
+// that carries the session's \timeout, when one is set.
 func (s *shell) run(stmt string, w io.Writer) {
 	query := strings.TrimSuffix(strings.TrimSpace(stmt), ";")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	var opts []gapplydb.QueryOption
+	if s.timeout > 0 {
+		opts = append(opts, gapplydb.WithTimeout(s.timeout))
+	}
 	start := time.Now()
-	res, err := s.db.Query(query)
+	res, err := s.db.QueryContext(ctx, query, opts...)
 	if err != nil {
-		printError(w, query, err)
+		switch {
+		case errors.Is(err, context.Canceled):
+			fmt.Fprintf(w, "cancelled after %v\n", time.Since(start).Round(time.Microsecond))
+		case errors.Is(err, context.DeadlineExceeded):
+			fmt.Fprintf(w, "timed out after %v (\\timeout %v)\n", time.Since(start).Round(time.Microsecond), s.timeout)
+		default:
+			printError(w, query, err)
+		}
 		return
 	}
 	fmt.Fprint(w, res.String())
@@ -157,7 +199,9 @@ func runStatement(db *gapplydb.Database, stmt string, w io.Writer) {
 }
 
 // printError reports a failed statement; parse errors get the offending
-// source line with a caret under the error position.
+// source line with a caret under the error position. ParseError columns
+// count runes, so the caret is positioned in display columns — a
+// multi-byte UTF-8 literal earlier on the line does not skew it.
 func printError(w io.Writer, stmt string, err error) {
 	fmt.Fprintln(w, "error:", err)
 	var pe *sql.ParseError
@@ -171,8 +215,8 @@ func printError(w io.Writer, stmt string, err error) {
 	line := lines[pe.Line-1]
 	fmt.Fprintf(w, "  %s\n", line)
 	col := pe.Col
-	if col > len(line)+1 {
-		col = len(line) + 1
+	if max := utf8.RuneCountInString(line) + 1; col > max {
+		col = max
 	}
 	fmt.Fprintf(w, "  %s^\n", strings.Repeat(" ", col-1))
 }

@@ -25,11 +25,22 @@ var Repeats = 3
 // serial execution phase. cmd/bench's -dop flag sets this.
 var DOP = 0
 
+// Timeout caps each measured query's wall clock; a run that exceeds it
+// fails with context.DeadlineExceeded instead of hanging the suite.
+// 0 (the default) means unlimited. cmd/bench's -timeout flag sets this.
+var Timeout time.Duration = 0
+
 // timeQuery returns the minimum execution time of the query across
 // Repeats runs, and the result of the last run.
 func timeQuery(db *gapplydb.Database, q string, opts ...gapplydb.QueryOption) (time.Duration, *gapplydb.Result, error) {
-	if DOP != 0 {
-		opts = append(append([]gapplydb.QueryOption{}, opts...), gapplydb.WithDOP(DOP))
+	if DOP != 0 || Timeout != 0 {
+		opts = append([]gapplydb.QueryOption{}, opts...)
+		if DOP != 0 {
+			opts = append(opts, gapplydb.WithDOP(DOP))
+		}
+		if Timeout != 0 {
+			opts = append(opts, gapplydb.WithTimeout(Timeout))
+		}
 	}
 	best := time.Duration(0)
 	var last *gapplydb.Result

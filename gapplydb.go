@@ -22,6 +22,8 @@
 package gapplydb
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -189,6 +191,56 @@ type queryConfig struct {
 	optOpts    opt.Options
 	dop        int
 	instrument bool
+	budget     Budget
+}
+
+// Budget caps one query's resource consumption. Every limit defaults to
+// unlimited (zero); exceeding a set limit kills the query with a
+// *ResourceError, and exceeding the timeout kills it with
+// context.DeadlineExceeded. A server fronting untrusted queries should
+// set all three.
+type Budget struct {
+	// MaxOutputRows caps how many rows the query may return.
+	MaxOutputRows int64
+	// MaxPartitionBytes caps the bytes GApply may materialize into
+	// per-group partitions — the engine's dominant memory consumer.
+	MaxPartitionBytes int64
+	// Timeout is the query's wall-clock deadline, enforced through the
+	// execution context (it composes with any deadline already on the
+	// caller's context: the earlier one wins).
+	Timeout time.Duration
+}
+
+// WithBudget applies a resource budget to the query.
+func WithBudget(b Budget) QueryOption {
+	return func(c *queryConfig) { c.budget = b }
+}
+
+// WithTimeout is shorthand for WithBudget(Budget{Timeout: d}) composed
+// with any other limits already set: it caps only the wall clock.
+func WithTimeout(d time.Duration) QueryOption {
+	return func(c *queryConfig) { c.budget.Timeout = d }
+}
+
+// ResourceError reports a query killed for exceeding its Budget.
+// Inspect it with errors.As:
+//
+//	var re *gapplydb.ResourceError
+//	if errors.As(err, &re) { log.Printf("killed: %s at %s", re.Limit, re.Operator) }
+type ResourceError struct {
+	// Limit names the exceeded dimension: "max-output-rows" or
+	// "max-partition-bytes".
+	Limit string
+	// Operator is the plan operator that blew the budget, in the compact
+	// shape the optimizer trace uses.
+	Operator string
+	// Max is the configured limit; Used the observed consumption.
+	Max, Used int64
+}
+
+func (e *ResourceError) Error() string {
+	return fmt.Sprintf("gapplydb: resource budget exceeded: %s = %d (limit %d) at %s",
+		e.Limit, e.Used, e.Max, e.Operator)
 }
 
 // WithInstrumentation turns on per-operator profiling for the query:
@@ -298,6 +350,15 @@ func (r *Result) String() string {
 // column whose rows are the report's lines (ANALYZE executes the query
 // to completion but likewise returns the report, not the query's rows).
 func (db *Database) Query(query string, options ...QueryOption) (*Result, error) {
+	return db.QueryContext(context.Background(), query, options...)
+}
+
+// QueryContext is Query under a caller-supplied context: cancelling ctx
+// (or passing its deadline) stops the statement — partitioning, sorts,
+// joins, aggregation and parallel GApply workers included — within one
+// row batch, returning context.Canceled or context.DeadlineExceeded.
+// Any Budget timeout set via options composes with ctx's own deadline.
+func (db *Database) QueryContext(ctx context.Context, query string, options ...QueryOption) (*Result, error) {
 	cfg := makeConfig(options)
 	c, err := db.compile(query, cfg)
 	if err != nil {
@@ -305,19 +366,19 @@ func (db *Database) Query(query string, options ...QueryOption) (*Result, error)
 	}
 	switch c.mode {
 	case sql.ExplainAnalyze:
-		e, err := db.explainCompiled(c, cfg, true)
+		e, err := db.explainCompiled(ctx, c, cfg, true)
 		if err != nil {
 			return nil, err
 		}
 		return e.planResult(), nil
 	case sql.ExplainPlan:
-		e, err := db.explainCompiled(c, cfg, false)
+		e, err := db.explainCompiled(ctx, c, cfg, false)
 		if err != nil {
 			return nil, err
 		}
 		return e.planResult(), nil
 	}
-	return db.execute(c, cfg)
+	return db.execute(ctx, c, cfg)
 }
 
 func makeConfig(options []QueryOption) queryConfig {
@@ -362,41 +423,55 @@ func (db *Database) compile(query string, cfg queryConfig) (*compiled, error) {
 	return &compiled{plan: plan, trace: trace, mode: mode}, nil
 }
 
-// execute runs an optimized plan.
-func (db *Database) execute(c *compiled, cfg queryConfig) (*Result, error) {
-	ctx := exec.NewContext(db.cat)
-	ctx.DOP = cfg.dop
+// execute runs an optimized plan under the caller's context and budget.
+func (db *Database) execute(ctx context.Context, c *compiled, cfg queryConfig) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.budget.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.budget.Timeout)
+		defer cancel()
+	}
+	ectx := exec.NewContext(db.cat)
+	ectx.DOP = cfg.dop
+	ectx.Ctx = ctx
 	if cfg.instrument {
-		ctx.Prof = exec.NewProfile()
+		ectx.Prof = exec.NewProfile()
+	}
+	if cfg.budget.MaxOutputRows > 0 || cfg.budget.MaxPartitionBytes > 0 {
+		ectx.Budget = &exec.Budget{
+			MaxOutputRows:     cfg.budget.MaxOutputRows,
+			MaxPartitionBytes: cfg.budget.MaxPartitionBytes,
+		}
 	}
 	start := time.Now()
-	res, err := exec.Run(c.plan, ctx)
+	res, err := exec.Run(c.plan, ectx)
 	elapsed := time.Since(start)
 	db.reg.Counter("queries").Inc()
 	db.reg.Histogram("execute_latency").Observe(elapsed)
 	if err != nil {
-		db.reg.Counter("query_errors").Inc()
-		return nil, err
+		return nil, db.classifyExecError(err)
 	}
-	db.recordExecMetrics(ctx.Counters)
+	db.recordExecMetrics(ectx.Counters)
 
 	out := &Result{
 		Columns: make([]string, res.Schema.Len()),
 		Rows:    make([][]any, len(res.Rows)),
 		Elapsed: elapsed,
 		Stats: ExecStats{
-			RowsScanned:        ctx.Counters.RowsScanned,
-			Groups:             ctx.Counters.Groups,
-			InnerExecs:         ctx.Counters.InnerExecs,
-			SerialGroupExecs:   ctx.Counters.SerialGroupExecs,
-			ParallelGroupExecs: ctx.Counters.ParallelGroupExecs,
-			ApplyExecs:         ctx.Counters.ApplyExecs,
-			ApplyCacheHits:     ctx.Counters.ApplyCacheHits,
-			JoinProbes:         ctx.Counters.JoinProbes,
+			RowsScanned:        ectx.Counters.RowsScanned,
+			Groups:             ectx.Counters.Groups,
+			InnerExecs:         ectx.Counters.InnerExecs,
+			SerialGroupExecs:   ectx.Counters.SerialGroupExecs,
+			ParallelGroupExecs: ectx.Counters.ParallelGroupExecs,
+			ApplyExecs:         ectx.Counters.ApplyExecs,
+			ApplyCacheHits:     ectx.Counters.ApplyCacheHits,
+			JoinProbes:         ectx.Counters.JoinProbes,
 		},
 		Trace: toTrace(c.trace),
 		inner: res,
-		prof:  ctx.Prof,
+		prof:  ectx.Prof,
 	}
 	for i, c := range res.Schema.Cols {
 		out.Columns[i] = c.QualifiedName()
@@ -409,6 +484,25 @@ func (db *Database) execute(c *compiled, cfg queryConfig) (*Result, error) {
 		out.Rows[i] = vals
 	}
 	return out, nil
+}
+
+// classifyExecError folds a failed execution into the metrics taxonomy
+// — cancelled, timed out, budget-killed, or a plain error — and rewraps
+// the internal resource error as the public *ResourceError so callers
+// outside the module can errors.As it.
+func (db *Database) classifyExecError(err error) error {
+	db.reg.Counter("query_errors").Inc()
+	var re *exec.ResourceError
+	switch {
+	case errors.Is(err, context.Canceled):
+		db.reg.Counter("queries_cancelled").Inc()
+	case errors.Is(err, context.DeadlineExceeded):
+		db.reg.Counter("queries_timed_out").Inc()
+	case errors.As(err, &re):
+		db.reg.Counter("queries_budget_killed").Inc()
+		return &ResourceError{Limit: re.Limit, Operator: re.Operator, Max: re.Max, Used: re.Used}
+	}
+	return err
 }
 
 func toGo(v types.Value) any {

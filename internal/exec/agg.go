@@ -207,6 +207,9 @@ func (h *hashGroupBy) Open() error {
 	index := make(map[string]int)
 	h.keys, h.states = nil, nil
 	for {
+		if err := h.ctx.tick(); err != nil {
+			return err
+		}
 		r, ok, err := h.input.Next()
 		if err != nil {
 			return err
@@ -289,6 +292,9 @@ func (s *scalarAgg) Open() error {
 		return err
 	}
 	for {
+		if err := s.ctx.tick(); err != nil {
+			return err
+		}
 		r, ok, err := s.input.Next()
 		if err != nil {
 			return err

@@ -61,7 +61,7 @@ func (a *apply) innerRows() ([]types.Row, error) {
 		}
 	}
 	a.ctx.Counters.ApplyExecs++
-	rows, err := Drain(a.inner)
+	rows, err := drainWith(a.inner, a.ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"strings"
@@ -30,6 +31,23 @@ type Context struct {
 	// how many groups may be evaluated concurrently. 0 (the default)
 	// means runtime.GOMAXPROCS(0); 1 forces serial execution.
 	DOP int
+
+	// Ctx carries the query's cancellation signal and deadline. Every
+	// blocking operator (sort, partitioning, join builds, aggregation)
+	// and every leaf scan polls it at row-batch granularity via tick;
+	// nil means "never cancelled" and costs nothing.
+	Ctx context.Context
+
+	// Budget, when non-nil, meters resource consumption (output rows,
+	// materialized partition bytes). It is shared — not copied — by
+	// forked worker contexts, so charges from parallel GApply workers
+	// land on the same meters.
+	Budget *Budget
+
+	// ticks counts cancellation-poll calls; the context is actually
+	// checked once per cancelBatch ticks, bounding both the poll cost
+	// and the cancellation latency to one row batch.
+	ticks uint64
 
 	// groups binds group variables to materialized partitions. GApply's
 	// execution phase sets the binding before each per-group evaluation
@@ -87,12 +105,40 @@ func (c *Context) fork() *Context {
 	for k, v := range c.groups {
 		groups[k] = v
 	}
-	child := &Context{Catalog: c.Catalog, DOP: c.DOP, groups: groups}
+	child := &Context{Catalog: c.Catalog, DOP: c.DOP, groups: groups,
+		Ctx: c.Ctx, Budget: c.Budget}
 	child.outer = append(child.outer, c.outer...)
 	if c.Prof != nil {
 		child.Prof = NewProfile()
 	}
 	return child
+}
+
+// cancelBatch is the row-batch granularity of cancellation polling: a
+// power of two so tick's hot path is one increment and one mask.
+const cancelBatch = 256
+
+// tick is the engine's cancellation point. Operators call it once per
+// row of work; every cancelBatch calls it polls Ctx and returns its
+// error (context.Canceled or context.DeadlineExceeded) once the query
+// is cancelled or past its deadline.
+func (c *Context) tick() error {
+	c.ticks++
+	if c.ticks&(cancelBatch-1) != 0 || c.Ctx == nil {
+		return nil
+	}
+	return context.Cause(c.Ctx)
+}
+
+// checkCancel polls the context immediately, ignoring the batch window.
+// Operators call it at phase boundaries (before a partition phase,
+// before emitting a buffered group) where promptness matters more than
+// amortization.
+func (c *Context) checkCancel() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	return context.Cause(c.Ctx)
 }
 
 // Sub returns the per-field difference c - o: the work done since the
@@ -166,6 +212,36 @@ func Drain(it Iterator) ([]types.Row, error) {
 	}
 	var rows []types.Row
 	for {
+		r, ok, err := it.Next()
+		if err != nil {
+			it.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		rows = append(rows, r)
+	}
+	if err := it.Close(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// drainWith is Drain with a cancellation point per collected row; the
+// engine's internal materializations (apply inners, join builds, GApply
+// outer and per-group drains) use it so a blocking materialization stops
+// within one row batch of the query being cancelled.
+func drainWith(it Iterator, c *Context) ([]types.Row, error) {
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	var rows []types.Row
+	for {
+		if err := c.tick(); err != nil {
+			it.Close()
+			return nil, err
+		}
 		r, ok, err := it.Next()
 		if err != nil {
 			it.Close()

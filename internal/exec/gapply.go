@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -29,6 +30,7 @@ func buildGApply(g *core.GApply, ctx *Context, env compileEnv) (Iterator, error)
 		outer:     outer,
 		inner:     inner,
 		innerPlan: g.Inner,
+		plan:      g,
 		env:       env,
 		ctx:       ctx,
 		ords:      ords,
@@ -57,9 +59,16 @@ func buildGApply(g *core.GApply, ctx *Context, env compileEnv) (Iterator, error)
 // instantiation of the inner plan, and a reorder stage emits the
 // buffered per-group results in partition order. Output is therefore
 // byte-identical to serial execution, clustering included.
+//
+// Both phases are cancellation points: the partition phase polls the
+// query context per outer row and charges materialized bytes against
+// the resource budget; the execution phase polls per produced row, and
+// parallel workers stop promptly — without goroutine leaks or dropped
+// counter merges — when the query is cancelled or a group fails.
 type gapply struct {
 	outer, inner Iterator
 	innerPlan    core.Node
+	plan         *core.GApply
 	env          compileEnv
 	ctx          *Context
 	ords         []int
@@ -82,14 +91,17 @@ func (g *gapply) Open() error {
 		g.par.shutdown()
 		g.par = nil
 	}
-	rows, err := Drain(g.outer)
+	rows, err := drainWith(g.outer, g.ctx)
 	if err != nil {
 		return err
 	}
 	if g.sortPart {
-		g.groups = partitionBySort(rows, g.ords)
+		g.groups, err = partitionBySort(rows, g.ords, g.ctx, g.plan)
 	} else {
-		g.groups = partitionByHash(rows, g.ords)
+		g.groups, err = partitionByHash(rows, g.ords, g.ctx, g.plan)
+	}
+	if err != nil {
+		return err
 	}
 	g.ctx.Counters.Groups += int64(len(g.groups))
 	g.gpos = 0
@@ -119,33 +131,83 @@ func (g *gapply) degree() int {
 	return dop
 }
 
+// chargePartition bills the budget for one row materialized into a
+// partition, labelling a blown budget with the GApply's plan shape.
+func chargePartition(ctx *Context, plan *core.GApply, r types.Row) error {
+	if ctx.Budget == nil {
+		return nil
+	}
+	operator := "GApply"
+	if plan != nil {
+		operator = core.Summary(plan)
+	}
+	return ctx.Budget.chargePartition(int64(r.Bytes()), operator)
+}
+
+// groupKeyEqual reports whether a row's grouping columns are Identical
+// to a group's representative key — the exact comparison that backs the
+// hash partitioner's buckets, so hash collisions can never merge
+// distinct grouping keys.
+func groupKeyEqual(key types.Row, r types.Row, ords []int) bool {
+	for i, o := range ords {
+		if !types.Identical(key[i], r[o]) {
+			return false
+		}
+	}
+	return true
+}
+
 // partitionByHash groups rows by hashing the grouping columns; group
 // order is first appearance in the input, so output is deterministic.
-// Rows are copied into the group's storage: each group is a temporary
-// relation (paper §3), so the partition phase pays memory traffic
-// proportional to row width — the cost the projection-before-GApply
-// rule exists to shrink.
-func partitionByHash(rows []types.Row, ords []int) [][]types.Row {
-	index := make(map[string]int)
+// Buckets are keyed by the 64-bit hash, and every row is compared
+// against the actual key values of the groups sharing its bucket: rows
+// whose keys merely collide are split into distinct groups, so hash-
+// and sort-based partitioning always produce identical groups. Rows are
+// copied into the group's storage: each group is a temporary relation
+// (paper §3), so the partition phase pays memory traffic proportional
+// to row width — the cost the projection-before-GApply rule exists to
+// shrink, and the byte meter the partition budget is charged against.
+func partitionByHash(rows []types.Row, ords []int, ctx *Context, plan *core.GApply) ([][]types.Row, error) {
+	buckets := make(map[uint64][]int) // hash -> indexes of groups in that bucket
 	var groups [][]types.Row
+	var keys []types.Row // representative grouping-column values per group
 	for _, r := range rows {
-		k := r.Key(ords)
-		i, ok := index[k]
-		if !ok {
-			i = len(groups)
-			index[k] = i
-			groups = append(groups, nil)
+		if err := ctx.tick(); err != nil {
+			return nil, err
 		}
-		groups[i] = append(groups[i], r.Clone())
+		h := r.Hash(ords)
+		gi := -1
+		for _, i := range buckets[h] {
+			if groupKeyEqual(keys[i], r, ords) {
+				gi = i
+				break
+			}
+		}
+		if gi < 0 {
+			gi = len(groups)
+			buckets[h] = append(buckets[h], gi)
+			groups = append(groups, nil)
+			keys = append(keys, r.Project(ords))
+		}
+		if err := chargePartition(ctx, plan, r); err != nil {
+			return nil, err
+		}
+		groups[gi] = append(groups[gi], r.Clone())
 	}
-	return groups
+	return groups, nil
 }
 
 // partitionBySort sorts rows on the grouping columns and cuts runs,
 // copying rows into the sorted temporary storage (see partitionByHash).
-func partitionBySort(rows []types.Row, ords []int) [][]types.Row {
+func partitionBySort(rows []types.Row, ords []int, ctx *Context, plan *core.GApply) ([][]types.Row, error) {
 	sorted := make([]types.Row, len(rows))
 	for i, r := range rows {
+		if err := ctx.tick(); err != nil {
+			return nil, err
+		}
+		if err := chargePartition(ctx, plan, r); err != nil {
+			return nil, err
+		}
 		sorted[i] = r.Clone()
 	}
 	sort.SliceStable(sorted, func(i, j int) bool {
@@ -159,12 +221,17 @@ func partitionBySort(rows []types.Row, ords []int) [][]types.Row {
 			start = i
 		}
 	}
-	return groups
+	return groups, nil
 }
 
 // advance binds the next group and opens the per-group query over it
 // (serial execution phase).
 func (g *gapply) advance() (bool, error) {
+	// Group boundaries are prompt cancellation points: a cancel between
+	// groups is noticed before the next per-group execution starts.
+	if err := g.ctx.checkCancel(); err != nil {
+		return false, err
+	}
 	for g.gpos < len(g.groups) {
 		group := g.groups[g.gpos]
 		g.gpos++
@@ -249,11 +316,18 @@ type parGroup struct {
 // unbounded prefix of the output: workers acquire a window slot before
 // claiming an index and the consumer releases the slot when it emits the
 // group.
+//
+// Shutdown — from Close, from the first group error, or from query
+// cancellation — closes stop and cancels the workers' derived context,
+// so a worker deep inside a large group stops within one row batch; the
+// consumer never waits on a ready channel no worker will close, because
+// it selects on the query context alongside every ready wait.
 type parRun struct {
 	results []parGroup
 	ready   []chan struct{}
 	window  chan struct{}
 	stop    chan struct{}
+	cancel  context.CancelFunc // cancels the workers' derived context
 	once    sync.Once
 	wg      sync.WaitGroup
 }
@@ -274,6 +348,15 @@ func (g *gapply) startWorkers(dop int) *parRun {
 	for i := range p.ready {
 		p.ready[i] = make(chan struct{})
 	}
+	// Workers run under a context derived from the query's: cancelling
+	// the query (or shutting the pool down) interrupts a worker even
+	// mid-group, via the same row-batch ticks serial execution uses.
+	parent := g.ctx.Ctx
+	if parent == nil {
+		parent = context.Background()
+	}
+	wctxCtx, cancel := context.WithCancel(parent)
+	p.cancel = cancel
 	var next atomic.Int64
 	var failed atomic.Bool
 	p.wg.Add(dop)
@@ -281,10 +364,13 @@ func (g *gapply) startWorkers(dop int) *parRun {
 		go func() {
 			defer p.wg.Done()
 			wctx := g.ctx.fork()
+			wctx.Ctx = wctxCtx
 			var inner Iterator
 			for {
 				select {
 				case <-p.stop:
+					return
+				case <-wctxCtx.Done():
 					return
 				case p.window <- struct{}{}:
 				}
@@ -338,7 +424,7 @@ func evalGroup(g *gapply, wctx *Context, inner Iterator, group []types.Row) parG
 	wctx.Counters.InnerExecs++
 	wctx.Counters.ParallelGroupExecs++
 	key := group[0].Project(g.ords)
-	rows, err := Drain(inner)
+	rows, err := drainWith(inner, wctx)
 	out := parGroup{err: err}
 	if err == nil {
 		out.rows = make([]types.Row, len(rows))
@@ -354,7 +440,11 @@ func evalGroup(g *gapply, wctx *Context, inner Iterator, group []types.Row) parG
 }
 
 // parNext emits the buffered groups in partition order, merging each
-// group's counter delta into the parent context as it is consumed.
+// group's counter delta into the parent context as it is consumed. The
+// first group error — in partition order, matching what serial
+// execution would surface — shuts the pool down and is returned; a
+// cancelled query stops the wait for the next group immediately rather
+// than blocking on a ready channel its worker may never close.
 func (g *gapply) parNext() (types.Row, bool, error) {
 	for {
 		if g.bpos < len(g.buf) {
@@ -363,11 +453,24 @@ func (g *gapply) parNext() (types.Row, bool, error) {
 			return r, true, nil
 		}
 		if g.gpos >= len(g.groups) {
+			// A cancel that lands after the last group still cancels.
+			if err := g.ctx.checkCancel(); err != nil {
+				return nil, false, err
+			}
 			return nil, false, nil
 		}
 		i := g.gpos
 		g.gpos++
-		<-g.par.ready[i]
+		var done <-chan struct{}
+		if g.ctx.Ctx != nil {
+			done = g.ctx.Ctx.Done()
+		}
+		select {
+		case <-g.par.ready[i]:
+		case <-done:
+			g.par.shutdown()
+			return nil, false, context.Cause(g.ctx.Ctx)
+		}
 		res := g.par.results[i]
 		g.par.results[i] = parGroup{}
 		<-g.par.window
@@ -376,15 +479,25 @@ func (g *gapply) parNext() (types.Row, bool, error) {
 			g.ctx.Prof.merge(res.prof)
 		}
 		if res.err != nil {
+			// Stop the pool now rather than waiting for Close: the error
+			// decides the query, so no worker should keep computing.
+			g.par.shutdown()
 			return nil, false, res.err
 		}
 		g.buf, g.bpos = res.rows, 0
 	}
 }
 
-// shutdown stops the pool and waits for the workers to exit; pending
-// results are discarded. Safe to call more than once.
+// shutdown stops the pool — closing the claim gate and cancelling the
+// workers' context so even a worker mid-group exits within a row batch —
+// and waits for the workers to finish; pending results are discarded.
+// Safe to call more than once.
 func (p *parRun) shutdown() {
-	p.once.Do(func() { close(p.stop) })
+	p.once.Do(func() {
+		close(p.stop)
+		if p.cancel != nil {
+			p.cancel()
+		}
+	})
 	p.wg.Wait()
 }

@@ -16,6 +16,12 @@ type tableScan struct {
 
 func (s *tableScan) Open() error { s.pos = 0; return nil }
 func (s *tableScan) Next() (types.Row, bool, error) {
+	// Leaf scans are the engine's universal cancellation point: every
+	// row of every plan originates here or at a groupScan, so polling
+	// at the leaves bounds cancellation latency for all operators.
+	if err := s.ctx.tick(); err != nil {
+		return nil, false, err
+	}
 	if s.pos >= len(s.table.Rows) {
 		return nil, false, nil
 	}
@@ -44,6 +50,9 @@ func (s *groupScan) Open() error {
 	return nil
 }
 func (s *groupScan) Next() (types.Row, bool, error) {
+	if err := s.ctx.tick(); err != nil {
+		return nil, false, err
+	}
 	if s.pos >= len(s.rows) {
 		return nil, false, nil
 	}
@@ -208,6 +217,9 @@ func (s *sortIter) Open() error {
 	}
 	var data []keyed
 	for {
+		if err := s.ctx.tick(); err != nil {
+			return err
+		}
 		r, ok, err := s.input.Next()
 		if err != nil {
 			return err

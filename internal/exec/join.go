@@ -82,6 +82,9 @@ func (h *hashJoin) Open() error {
 	}
 	h.table = make(map[string][]types.Row)
 	for {
+		if err := h.ctx.tick(); err != nil {
+			return err
+		}
 		r, ok, err := h.right.Next()
 		if err != nil {
 			return err
@@ -166,7 +169,7 @@ type nlJoin struct {
 }
 
 func (n *nlJoin) Open() error {
-	rows, err := Drain(n.right)
+	rows, err := drainWith(n.right, n.ctx)
 	if err != nil {
 		return err
 	}

@@ -15,13 +15,48 @@ type Result struct {
 }
 
 // Run compiles and executes a logical plan, materializing the result.
+// Execution honors the Context's cancellation signal (ctx.Ctx) and
+// resource budget: cancellation surfaces as context.Canceled or
+// context.DeadlineExceeded within one row batch, and a blown budget as
+// a *ResourceError naming the offending operator.
 func Run(n core.Node, ctx *Context) (*Result, error) {
 	it, err := Build(n, ctx)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := Drain(it)
-	if err != nil {
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	var rows []types.Row
+	for {
+		if err := ctx.tick(); err != nil {
+			it.Close()
+			return nil, err
+		}
+		r, ok, err := it.Next()
+		if err != nil {
+			it.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		rows = append(rows, r)
+		if b := ctx.Budget; b != nil && b.MaxOutputRows > 0 && int64(len(rows)) > b.MaxOutputRows {
+			it.Close()
+			return nil, &ResourceError{
+				Limit: LimitOutputRows, Operator: core.Summary(n),
+				Max: b.MaxOutputRows, Used: int64(len(rows)),
+			}
+		}
+	}
+	if err := it.Close(); err != nil {
+		return nil, err
+	}
+	// A cancel that lands after the last row still cancels the query:
+	// callers must never mistake a result raced by cancellation for a
+	// committed success.
+	if err := ctx.checkCancel(); err != nil {
 		return nil, err
 	}
 	return &Result{Schema: n.Schema(), Rows: rows}, nil

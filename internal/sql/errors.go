@@ -9,7 +9,7 @@ type ParseError struct {
 	Msg  string // what went wrong, without position decoration
 	Pos  int    // byte offset into the statement
 	Line int    // 1-based
-	Col  int    // 1-based
+	Col  int    // 1-based, in runes (not bytes), so carets align on UTF-8
 }
 
 func (e *ParseError) Error() string {

@@ -45,14 +45,16 @@ var keywords = map[string]bool{
 
 // Position converts a byte offset in a statement into 1-based line and
 // column numbers, the coordinates parse errors report and shells use to
-// point at the offending token.
+// point at the offending token. Columns count runes, not bytes, so a
+// multi-byte UTF-8 literal earlier on the line does not shift the
+// shell's caret off the offending token.
 func Position(src string, offset int) (line, col int) {
 	if offset > len(src) {
 		offset = len(src)
 	}
 	line, col = 1, 1
-	for i := 0; i < offset; i++ {
-		if src[i] == '\n' {
+	for _, r := range src[:offset] {
+		if r == '\n' {
 			line++
 			col = 1
 		} else {

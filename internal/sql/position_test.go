@@ -1,0 +1,47 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPositionRuneColumns: Position converts byte offsets to rune-based
+// columns, so multi-byte UTF-8 earlier on a line does not skew the
+// coordinates a shell uses to draw its caret.
+func TestPositionRuneColumns(t *testing.T) {
+	src := "αβγ δ\nx 語 y"
+	cases := []struct {
+		offset    int
+		line, col int
+	}{
+		{0, 1, 1},
+		{strings.Index(src, "δ"), 1, 5}, // byte offset 7, rune column 5
+		{strings.Index(src, "x"), 2, 1},
+		{strings.Index(src, "y"), 2, 5}, // after the 3-byte 語
+		{len(src) + 99, 2, 5 + 1},       // clamped past the end
+	}
+	for _, c := range cases {
+		line, col := Position(src, c.offset)
+		if line != c.line || col != c.col {
+			t.Errorf("Position(%d) = (%d, %d), want (%d, %d)", c.offset, line, col, c.line, c.col)
+		}
+	}
+}
+
+// TestParseErrorColCountsRunes: a lex error after a non-ASCII string
+// literal reports its column in runes, not bytes.
+func TestParseErrorColCountsRunes(t *testing.T) {
+	input := "select '日本' !"
+	_, err := Lex(input)
+	var pe *ParseError
+	if !errorsAs(err, &pe) {
+		t.Fatalf("error %T is not a *ParseError: %v", err, err)
+	}
+	// "select " (7) + "'" (8) + 日本 (10) + "'" (11) + " " (12) → '!' at 13.
+	if pe.Line != 1 || pe.Col != 13 {
+		t.Errorf("position = line %d col %d, want line 1 col 13 (%v)", pe.Line, pe.Col, err)
+	}
+	if pe.Pos != strings.Index(input, "!") {
+		t.Errorf("Pos = %d, want the byte offset %d", pe.Pos, strings.Index(input, "!"))
+	}
+}

@@ -1,0 +1,143 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// The float64-exact integer boundary: 2^53 is the largest power of two
+// below which every int64 has a distinct float64 image. 2^53 and 2^53+1
+// share the image 2^53.0, the collision behind the grouping bug the
+// exact key encoding fixes.
+const twoTo53 = int64(1) << 53
+
+// TestCompareIntFloatExact pins the mixed INT/FLOAT comparison: it must
+// be exact, never rounding the integer through a float64 image.
+func TestCompareIntFloatExact(t *testing.T) {
+	cmp := func(i int64, f float64) int {
+		c, ok := Compare(NewInt(i), NewFloat(f))
+		if !ok {
+			t.Fatalf("Compare(%d, %g) not ok", i, f)
+		}
+		return c
+	}
+	cases := []struct {
+		i    int64
+		f    float64
+		want int
+	}{
+		{2, 2.0, 0},
+		{3, 3.5, -1},
+		{4, 3.5, 1},
+		{-4, -3.5, -1},
+		{-3, -3.5, 1},
+		// 2^53+1 rounds to 2^53.0 as a float; the comparison must still
+		// see that the integer is strictly larger.
+		{twoTo53, float64(twoTo53), 0},
+		{twoTo53 + 1, float64(twoTo53), 1},
+		{twoTo53 + 1, 9007199254740994.0, -1}, // next float on the grid
+		{-(twoTo53 + 1), -float64(twoTo53), -1},
+		// Floats beyond the int64 range order strictly outside it.
+		{math.MaxInt64, 1e300, -1},
+		{math.MinInt64, -1e300, 1},
+		{math.MaxInt64, 9223372036854775808.0, -1}, // 2^63 itself
+		{math.MinInt64, -9223372036854775808.0, 0}, // -2^63 is exact
+		// NaN orders after every integer (SortCompare totality).
+		{0, math.NaN(), -1},
+		{math.MaxInt64, math.NaN(), -1},
+	}
+	for _, c := range cases {
+		if got := cmp(c.i, c.f); got != c.want {
+			t.Errorf("Compare(INT %d, FLOAT %g) = %d, want %d", c.i, c.f, got, c.want)
+		}
+		// Antisymmetry with the operands swapped.
+		if rc, ok := Compare(NewFloat(c.f), NewInt(c.i)); !ok || rc != -c.want {
+			t.Errorf("Compare(FLOAT %g, INT %d) = %d, want %d", c.f, c.i, rc, -c.want)
+		}
+	}
+}
+
+// TestBigIntKeysStayDistinct is the regression test for the partitioning
+// collision: two int64 grouping keys sharing a float64 image must
+// produce different canonical keys, or hash partitioning merges groups
+// that sort partitioning keeps apart.
+func TestBigIntKeysStayDistinct(t *testing.T) {
+	a := Row{NewInt(twoTo53)}
+	b := Row{NewInt(twoTo53 + 1)}
+	if a.Key([]int{0}) == b.Key([]int{0}) {
+		t.Errorf("Key(%d) == Key(%d): float64 image collision leaks into grouping keys", twoTo53, twoTo53+1)
+	}
+	if Identical(a[0], b[0]) {
+		t.Errorf("Identical(%d, %d) = true", twoTo53, twoTo53+1)
+	}
+	// Conversely INT 2 and FLOAT 2.0 are Identical and must agree.
+	i2, f2 := Row{NewInt(2)}, Row{NewFloat(2)}
+	if i2.Key([]int{0}) != f2.Key([]int{0}) {
+		t.Error("INT 2 and FLOAT 2.0 must share a canonical key")
+	}
+	if i2.Hash([]int{0}) != f2.Hash([]int{0}) {
+		t.Error("INT 2 and FLOAT 2.0 must hash identically")
+	}
+	// ... including at the exactness boundary itself.
+	ib, fb := Row{NewInt(twoTo53)}, Row{NewFloat(float64(twoTo53))}
+	if ib.Key([]int{0}) != fb.Key([]int{0}) || ib.Hash([]int{0}) != fb.Hash([]int{0}) {
+		t.Errorf("INT 2^53 and FLOAT 2^53 must share key and hash")
+	}
+}
+
+// TestZeroAndNaNCanonical: values Compare reports equal must share key
+// and hash — -0.0 vs +0.0, and any two NaN payloads.
+func TestZeroAndNaNCanonical(t *testing.T) {
+	negZero := math.Copysign(0, -1)
+	z, nz := Row{NewFloat(0)}, Row{NewFloat(negZero)}
+	if !Identical(z[0], nz[0]) {
+		t.Fatal("Identical(0.0, -0.0) must be true")
+	}
+	if z.Key([]int{0}) != nz.Key([]int{0}) || z.Hash([]int{0}) != nz.Hash([]int{0}) {
+		t.Error("-0.0 must share +0.0's canonical key and hash")
+	}
+	nan, negNaN := NewFloat(math.NaN()), NewFloat(-math.NaN())
+	if !Identical(nan, negNaN) {
+		t.Fatal("all NaNs compare equal, so Identical must hold")
+	}
+	if (Row{nan}).Key([]int{0}) != (Row{negNaN}).Key([]int{0}) {
+		t.Error("NaN payloads must share a canonical key")
+	}
+	if (Row{nan}).Hash([]int{0}) != (Row{negNaN}).Hash([]int{0}) {
+		t.Error("NaN payloads must hash identically")
+	}
+}
+
+// TestQuickIdenticalImpliesSameKeyAndHash extends the existing
+// hash-consistency property across the int/float boundary with large
+// magnitudes, where the old float-image encoding broke it.
+func TestQuickIdenticalImpliesSameKeyAndHash(t *testing.T) {
+	f := func(i int64, bits uint64) bool {
+		fv := math.Float64frombits(bits)
+		a, b := NewInt(i), NewFloat(fv)
+		if !Identical(a, b) {
+			// Distinct values may collide in hash, but never in Key.
+			return (Row{a}).Key([]int{0}) != (Row{b}).Key([]int{0})
+		}
+		return (Row{a}).Key([]int{0}) == (Row{b}).Key([]int{0}) &&
+			(Row{a}).Hash([]int{0}) == (Row{b}).Hash([]int{0})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowBytesEstimate(t *testing.T) {
+	if (Row{}).Bytes() <= 0 {
+		t.Error("empty row must still cost header bytes")
+	}
+	small := Row{NewInt(1), NewString("x")}
+	big := Row{NewInt(1), NewString("xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")}
+	if big.Bytes() <= small.Bytes() {
+		t.Errorf("Bytes must grow with string payload: %d vs %d", small.Bytes(), big.Bytes())
+	}
+	if d := big.Bytes() - small.Bytes(); d != 31 {
+		t.Errorf("string payload delta = %d, want 31", d)
+	}
+}

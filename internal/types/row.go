@@ -60,8 +60,11 @@ func (r Row) Hash(cols []int) uint64 {
 
 // Key renders the listed columns into a canonical string usable as a Go
 // map key for grouping and duplicate elimination. Values that are
-// Identical produce identical keys: numeric values are canonicalized to
-// their float64 image, which is exact for TPC-H-scale integers.
+// Identical produce identical keys: numeric values whose float64 image
+// is exact are canonicalized to that image (so INT 2 and FLOAT 2.0
+// agree), while integers beyond the float64-exact range get an exact
+// integer encoding — two distinct int64 grouping keys must never merge,
+// however large (hash- and sort-based partitioning both rely on this).
 func (r Row) Key(cols []int) string {
 	var b strings.Builder
 	var buf [9]byte
@@ -72,12 +75,17 @@ func (r Row) Key(cols []int) string {
 			buf[0] = 0
 			b.Write(buf[:1])
 		case KindInt:
-			buf[0] = 1
-			binary.LittleEndian.PutUint64(buf[1:], math.Float64bits(float64(v.I)))
+			if f, ok := exactFloatImage(v.I); ok {
+				buf[0] = 1
+				binary.LittleEndian.PutUint64(buf[1:], math.Float64bits(f))
+			} else {
+				buf[0] = 5
+				binary.LittleEndian.PutUint64(buf[1:], uint64(v.I))
+			}
 			b.Write(buf[:9])
 		case KindFloat:
 			buf[0] = 1
-			binary.LittleEndian.PutUint64(buf[1:], math.Float64bits(v.F))
+			binary.LittleEndian.PutUint64(buf[1:], math.Float64bits(canonFloat(v.F)))
 			b.Write(buf[:9])
 		case KindString:
 			buf[0] = 2
@@ -95,6 +103,21 @@ func (r Row) Key(cols []int) string {
 		}
 	}
 	return b.String()
+}
+
+// Bytes estimates the in-memory footprint of the row: the value structs
+// plus string payloads and the slice header. Resource budgets use it to
+// meter materialized partitions; it is an estimate, not an accounting of
+// the allocator's exact overhead.
+func (r Row) Bytes() int {
+	const valueSize = 40 // unsafe.Sizeof(Value{}): kind + int64 + float64 + string header
+	n := 24 + len(r)*valueSize
+	for _, v := range r {
+		if v.K == KindString {
+			n += len(v.S)
+		}
+	}
+	return n
 }
 
 // KeyAll renders every column; used when whole rows must be deduplicated.

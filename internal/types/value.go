@@ -233,14 +233,38 @@ func Compare(a, b Value) (int, bool) {
 			}
 			return 0, true
 		}
-		af, bf := a.Float(), b.Float()
+		// Mixed INT/FLOAT compares exactly: converting the integer side
+		// to float64 would collapse distinct values beyond 2^53 (e.g.
+		// 2^53 and 2^53+1 share a float64 image), which would make
+		// grouping equality intransitive and let hash partitioning merge
+		// keys sort partitioning keeps apart.
+		if a.K == KindInt {
+			return compareIntFloat(a.I, b.F), true
+		}
+		if b.K == KindInt {
+			return -compareIntFloat(b.I, a.F), true
+		}
+		af, bf := a.F, b.F
 		switch {
 		case af < bf:
 			return -1, true
 		case af > bf:
 			return 1, true
+		case af == bf:
+			return 0, true
 		}
-		return 0, true
+		// At least one side is NaN. NaN orders after every non-NaN float
+		// and equals itself — the same placement compareIntFloat gives it
+		// — so grouping equality stays an equivalence relation instead of
+		// NaN comparing "equal" to everything.
+		switch {
+		case math.IsNaN(af) && math.IsNaN(bf):
+			return 0, true
+		case math.IsNaN(af):
+			return 1, true
+		default:
+			return -1, true
+		}
 	case a.K == KindString && b.K == KindString:
 		switch {
 		case a.S < b.S:
@@ -288,6 +312,60 @@ func SortCompare(a, b Value) int {
 	return 0
 }
 
+// compareIntFloat compares an int64 against a float64 exactly, without
+// rounding the integer through a float64 image. Returns -1/0/+1 for
+// i </==/> f; NaN orders after every integer.
+func compareIntFloat(i int64, f float64) int {
+	const maxInt64f = 9223372036854775808.0 // 2^63, exactly representable
+	switch {
+	case math.IsNaN(f):
+		return -1
+	case f >= maxInt64f:
+		return -1
+	case f < -maxInt64f:
+		return 1
+	}
+	t := math.Trunc(f) // in [-2^63, 2^63): int64(t) is defined
+	ti := int64(t)
+	switch {
+	case i < ti:
+		return -1
+	case i > ti:
+		return 1
+	case f > t: // equal integer parts; a positive fraction makes f larger
+		return -1
+	case f < t:
+		return 1
+	}
+	return 0
+}
+
+// exactFloatImage returns the float64 with exactly the numeric value of
+// i, when one exists (|i| ≤ 2^53 always qualifies; larger magnitudes
+// only when they fall on the float64 grid).
+func exactFloatImage(i int64) (float64, bool) {
+	const maxInt64f = 9223372036854775808.0 // 2^63
+	f := float64(i)
+	if f >= -maxInt64f && f < maxInt64f && int64(f) == i {
+		return f, true
+	}
+	return 0, false
+}
+
+// canonFloat canonicalizes a float64 for keying and hashing: -0.0 and
+// +0.0 compare equal, so they must produce the same image — and so do
+// all NaNs (Compare reports any two NaNs equal), so every NaN payload
+// collapses to the canonical one.
+func canonFloat(f float64) float64 {
+	if f == 0 {
+		return 0
+	}
+	if math.IsNaN(f) {
+		return math.NaN()
+	}
+	return f
+}
+
 // Identical reports whether two values are the same for grouping and
 // DISTINCT purposes (NULLs group together, unlike predicate equality).
 func Identical(a, b Value) bool {
@@ -299,9 +377,11 @@ func Identical(a, b Value) bool {
 }
 
 // Hash folds the value into an FNV-1a style hash, seeding with h. Values
-// that are Identical hash identically (INT 2 and FLOAT 2.0 compare equal,
-// so both hash through the float path when fractional information is
-// absent).
+// that are Identical hash identically: INT 2 and FLOAT 2.0 compare
+// equal, so both hash through the float image; an integer beyond the
+// float64-exact range (which no float64 can equal) hashes its exact
+// bits; -0.0 hashes like +0.0. Distinct values may collide — the hash
+// partitioner resolves buckets by comparing actual key values.
 func (v Value) Hash(h uint64) uint64 {
 	const prime = 1099511628211
 	mix := func(h uint64, b byte) uint64 { return (h ^ uint64(b)) * prime }
@@ -315,9 +395,12 @@ func (v Value) Hash(h uint64) uint64 {
 	case KindNull:
 		return mix(h, 1)
 	case KindInt:
-		return mix64(mix(h, 2), math.Float64bits(float64(v.I)))
+		if f, ok := exactFloatImage(v.I); ok {
+			return mix64(mix(h, 2), math.Float64bits(f))
+		}
+		return mix64(mix(h, 6), uint64(v.I))
 	case KindFloat:
-		return mix64(mix(h, 2), math.Float64bits(v.F))
+		return mix64(mix(h, 2), math.Float64bits(canonFloat(v.F)))
 	case KindString:
 		h = mix(h, 3)
 		for i := 0; i < len(v.S); i++ {

@@ -1,6 +1,7 @@
 package gapplydb
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -137,7 +138,7 @@ func (db *Database) ExplainPlan(query string, options ...QueryOption) (*Explanat
 	if err != nil {
 		return nil, err
 	}
-	return db.explainCompiled(c, cfg, false)
+	return db.explainCompiled(context.Background(), c, cfg, false)
 }
 
 // ExplainAnalyze compiles AND executes the statement with per-operator
@@ -145,21 +146,28 @@ func (db *Database) ExplainPlan(query string, options ...QueryOption) (*Explanat
 // loop counts and inclusive wall time next to the estimates. The
 // executed rows are available via the returned Explanation's Result.
 func (db *Database) ExplainAnalyze(query string, options ...QueryOption) (*Explanation, error) {
+	return db.ExplainAnalyzeContext(context.Background(), query, options...)
+}
+
+// ExplainAnalyzeContext is ExplainAnalyze under a caller-supplied
+// context: the instrumented execution obeys the same cancellation,
+// deadline and budget rules as QueryContext.
+func (db *Database) ExplainAnalyzeContext(ctx context.Context, query string, options ...QueryOption) (*Explanation, error) {
 	cfg := makeConfig(options)
 	c, err := db.compile(query, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return db.explainCompiled(c, cfg, true)
+	return db.explainCompiled(ctx, c, cfg, true)
 }
 
 // explainCompiled builds the report for an already-compiled statement,
 // executing it first when analyze is set.
-func (db *Database) explainCompiled(c *compiled, cfg queryConfig, analyze bool) (*Explanation, error) {
+func (db *Database) explainCompiled(ctx context.Context, c *compiled, cfg queryConfig, analyze bool) (*Explanation, error) {
 	var res *Result
 	if analyze {
 		cfg.instrument = true
-		r, err := db.execute(c, cfg)
+		r, err := db.execute(ctx, c, cfg)
 		if err != nil {
 			return nil, err
 		}
