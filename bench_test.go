@@ -22,6 +22,7 @@ import (
 	"testing"
 
 	"gapplydb"
+	"gapplydb/experiments"
 	"gapplydb/xmlpub"
 )
 
@@ -192,6 +193,50 @@ func BenchmarkPartition(b *testing.B) {
 	q := xmlpub.Q1().GApplySQL()
 	b.Run("Hash", func(b *testing.B) { runQuery(b, q, gapplydb.WithPartition("hash")) })
 	b.Run("Sort", func(b *testing.B) { runQuery(b, q, gapplydb.WithPartition("sort")) })
+}
+
+// --------------------------------------------- spool and plan cache
+
+// BenchmarkSpool pairs a join-heavy GApply query with the invariant-
+// subtree spool off and on at dop 1 (the ISSUE's ≥1.5× acceptance
+// measurement). Run with -benchmem: the spooled arm also shows the
+// allocation savings from the per-group key slab and the hash-join
+// probe scratch.
+func BenchmarkSpool(b *testing.B) {
+	q := experiments.SpoolQueries()[0].SQL
+	b.Run("Off", func(b *testing.B) {
+		runQuery(b, q, gapplydb.WithDOP(1), gapplydb.WithoutSpooling())
+	})
+	b.Run("On", func(b *testing.B) {
+		runQuery(b, q, gapplydb.WithDOP(1))
+	})
+}
+
+// BenchmarkPlanCache measures the whole Query call (parse + bind +
+// optimize + execute): Cold invalidates the statement cache each
+// iteration, Warm hits it.
+func BenchmarkPlanCache(b *testing.B) {
+	db := benchDatabase(b)
+	q := benchQ4GApply
+	b.Run("Cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db.InvalidatePlanCache()
+			if _, err := db.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Warm", func(b *testing.B) {
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // ------------------------------------------- §5.1.1 client simulation

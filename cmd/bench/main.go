@@ -5,9 +5,11 @@
 //
 // Usage:
 //
-//	bench [-sf 0.01] [-repeats 3] [-experiment all|figure8|table1|clientsim]
-//	bench -json out.json     # also write per-query observability records
-//	                         # (plan hash, rule trace, analyzed plan, stats)
+//	bench [-sf 0.01] [-repeats 3] [-experiment all|figure8|table1|clientsim|spool|plancache]
+//	bench -json out.json     # also write the benchmark artifact: spool and
+//	                         # plan-cache measurements plus per-query
+//	                         # observability records (plan hash, rule trace,
+//	                         # analyzed plan, stats)
 package main
 
 import (
@@ -24,7 +26,7 @@ import (
 func main() {
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor (1.0 = full size)")
 	repeats := flag.Int("repeats", 3, "runs per measurement (min is kept)")
-	exp := flag.String("experiment", "all", "figure8 | table1 | clientsim | none | all")
+	exp := flag.String("experiment", "all", "figure8 | table1 | clientsim | spool | plancache | none | all")
 	dop := flag.Int("dop", 0, "GApply degree of parallelism (0 = GOMAXPROCS, 1 = serial)")
 	timeout := flag.Duration("timeout", 0, "per-query wall-clock limit (0 = unlimited); a query past it fails instead of hanging the run")
 	jsonPath := flag.String("json", "", "write per-query JSON reports (plan hash, trace, operator timings) to this file")
@@ -52,6 +54,8 @@ func main() {
 	run("figure8", printFigure8)
 	run("table1", printTable1)
 	run("clientsim", printClientSim)
+	run("spool", printSpool)
+	run("plancache", printPlanCache)
 
 	if *jsonPath != "" {
 		if err := writeReports(db, *jsonPath); err != nil {
@@ -60,22 +64,56 @@ func main() {
 	}
 }
 
-// writeReports runs the whole suite once under EXPLAIN ANALYZE and
-// writes the per-query observability records as indented JSON.
+// spoolJSON is a SpoolRow with its derived speedup serialized, so the
+// artifact diffs without recomputation.
+type spoolJSON struct {
+	experiments.SpoolRow
+	Speedup float64
+}
+
+// planCacheJSON is a PlanCacheRow with its derived benefit serialized.
+type planCacheJSON struct {
+	experiments.PlanCacheRow
+	Benefit float64
+}
+
+// writeReports writes the benchmark artifact: the spooling and plan-
+// cache measurements (speedup/benefit included), then the per-query
+// observability records for the whole suite under EXPLAIN ANALYZE.
 func writeReports(db *gapplydb.Database, path string) error {
-	fmt.Printf("collecting per-query reports...\n")
+	fmt.Printf("collecting benchmark artifact...\n")
+	spool, err := experiments.Spool(db)
+	if err != nil {
+		return err
+	}
+	pc, err := experiments.PlanCache(db)
+	if err != nil {
+		return err
+	}
 	reports, err := experiments.Reports(db)
 	if err != nil {
 		return err
 	}
-	data, err := json.MarshalIndent(reports, "", "  ")
+	out := struct {
+		Spool     []spoolJSON
+		PlanCache []planCacheJSON
+		Queries   []experiments.QueryReport
+	}{Queries: reports}
+	for _, r := range spool {
+		out.Spool = append(out.Spool, spoolJSON{SpoolRow: r, Speedup: r.Speedup()})
+	}
+	for _, r := range pc {
+		out.PlanCache = append(out.PlanCache, planCacheJSON{PlanCacheRow: r, Benefit: r.Benefit()})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
 	}
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %d query reports to %s\n", len(reports), path)
+	fmt.Printf("wrote %d spool rows, %d plan-cache rows, %d query reports to %s\n",
+		len(out.Spool), len(out.PlanCache), len(reports), path)
 	return nil
 }
 
@@ -124,6 +162,43 @@ func printTable1(db *gapplydb.Database) error {
 			fmt.Printf("    %-24s without=%-12v with=%-12v benefit=%.2f\n",
 				p.Param, p.Without.Round(time.Microsecond), p.With.Round(time.Microsecond), p.Benefit())
 		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func printSpool(db *gapplydb.Database) error {
+	fmt.Println("== Invariant-subtree spooling (join-heavy GApply inners) ==")
+	fmt.Println("(speedup = elapsed with the spool off ÷ elapsed with it on;")
+	fmt.Println(" builds/hits show one materialization serving every group)")
+	fmt.Println()
+	rows, err := experiments.Spool(db)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %14s %14s %10s %8s %8s %14s %12s\n",
+		"query", "spool off", "spool on", "speedup", "builds", "hits", "scans off", "scans on")
+	for _, r := range rows {
+		fmt.Printf("%-6s %14v %14v %9.2fx %8d %8d %14d %12d\n",
+			r.Query, r.Off.Round(time.Microsecond), r.On.Round(time.Microsecond),
+			r.Speedup(), r.Builds, r.Hits, r.ScansOff, r.ScansOn)
+	}
+	fmt.Println()
+	return nil
+}
+
+func printPlanCache(db *gapplydb.Database) error {
+	fmt.Println("== Statement plan cache: cold vs warm compile ==")
+	fmt.Println("(total wall time per statement; warm runs skip parse/bind/optimize)")
+	fmt.Println()
+	rows, err := experiments.PlanCache(db)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %14s %14s %10s\n", "query", "cold", "warm", "benefit")
+	for _, r := range rows {
+		fmt.Printf("%-6s %14v %14v %9.2fx\n",
+			r.Query, r.Cold.Round(time.Microsecond), r.Warm.Round(time.Microsecond), r.Benefit())
 	}
 	fmt.Println()
 	return nil

@@ -177,9 +177,10 @@ func (s *shell) run(stmt string, w io.Writer) {
 		len(res.Rows), time.Since(start).Round(time.Microsecond), res.Elapsed.Round(time.Microsecond))
 	if s.stats {
 		st := res.Stats
-		fmt.Fprintf(w, "stats: scanned=%d groups=%d inner=%d serial=%d parallel=%d apply=%d cachehits=%d probes=%d\n",
+		fmt.Fprintf(w, "stats: scanned=%d groups=%d inner=%d serial=%d parallel=%d apply=%d cachehits=%d probes=%d spoolbuilds=%d spoolhits=%d plancache=%d\n",
 			st.RowsScanned, st.Groups, st.InnerExecs, st.SerialGroupExecs,
-			st.ParallelGroupExecs, st.ApplyExecs, st.ApplyCacheHits, st.JoinProbes)
+			st.ParallelGroupExecs, st.ApplyExecs, st.ApplyCacheHits, st.JoinProbes,
+			st.SpoolBuilds, st.SpoolHits, st.PlanCacheHits)
 	}
 	if s.slowlog > 0 && res.Elapsed >= s.slowlog {
 		e, err := s.db.ExplainAnalyze(query)

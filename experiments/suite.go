@@ -18,9 +18,10 @@ type SuiteQuery struct {
 	Heavy bool
 }
 
-// SuiteQueries returns every SQL statement the Figure 8 and Table 1
-// experiments execute — the full evaluation workload — so differential
-// and regression tests cover exactly what the harness measures.
+// SuiteQueries returns every SQL statement the Figure 8, Table 1 and
+// spooling experiments execute — the full evaluation workload — so
+// differential and regression tests cover exactly what the harness
+// measures.
 func SuiteQueries() []SuiteQuery {
 	out := []SuiteQuery{
 		{Name: "figure8/Q1/without", SQL: xmlpub.Q1().SortedOuterUnionSQL()},
@@ -32,6 +33,7 @@ func SuiteQueries() []SuiteQuery {
 		{Name: "figure8/Q4/without", SQL: q4Flat, Heavy: true},
 		{Name: "figure8/Q4/with", SQL: q4GApply},
 	}
+	out = append(out, SpoolQueries()...)
 	seen := map[string]bool{}
 	for _, q := range out {
 		seen[q.SQL] = true

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"gapplydb/internal/bind"
@@ -44,15 +45,20 @@ import (
 // Database is an in-memory database instance. It is safe for concurrent
 // readers once loading is complete; loading and querying must not race.
 type Database struct {
-	cat *storage.Catalog
-	st  *stats.Stats
-	opt *opt.Optimizer
-	reg *metrics.Registry
+	cat   *storage.Catalog
+	st    *stats.Stats
+	opt   *opt.Optimizer
+	reg   *metrics.Registry
+	plans *planCache
+	// statsEpoch counts RefreshStats calls: plans compiled under old
+	// statistics may no longer be the ones the optimizer would pick, so
+	// the plan-cache key includes the epoch.
+	statsEpoch atomic.Uint64
 }
 
 // Open creates an empty database.
 func Open() *Database {
-	db := &Database{cat: storage.NewCatalog(), reg: metrics.NewRegistry()}
+	db := &Database{cat: storage.NewCatalog(), reg: metrics.NewRegistry(), plans: newPlanCache()}
 	db.RefreshStats()
 	return db
 }
@@ -61,13 +67,20 @@ func Open() *Database {
 // the given scale factor (1.0 ≈ the paper's schema at full row counts;
 // 0.01 is comfortable for a laptop).
 func OpenTPCH(scaleFactor float64) (*Database, error) {
-	db := &Database{cat: storage.NewCatalog(), reg: metrics.NewRegistry()}
+	db := &Database{cat: storage.NewCatalog(), reg: metrics.NewRegistry(), plans: newPlanCache()}
 	if err := tpch.Load(db.cat, scaleFactor); err != nil {
 		return nil, err
 	}
 	db.RefreshStats()
 	return db, nil
 }
+
+// InvalidatePlanCache drops every cached statement plan. Schema changes
+// and RefreshStats already invalidate implicitly (the cache key includes
+// the catalog version and the statistics epoch); this hook is for
+// callers that mutate data in ways the engine cannot see and want
+// freshly costed plans without a statistics refresh.
+func (db *Database) InvalidatePlanCache() { db.plans.clear() }
 
 // Metrics returns a point-in-time snapshot of the database's lifetime
 // metrics: query and error counts, optimize/execute latency histograms,
@@ -178,20 +191,26 @@ func toValue(v any) (types.Value, error) {
 func (db *Database) Tables() []string { return db.cat.Names() }
 
 // RefreshStats recollects optimizer statistics; call it after bulk
-// loading so cardinality estimates reflect the data.
+// loading so cardinality estimates reflect the data. Cached statement
+// plans compiled under the previous statistics are invalidated (the
+// cache key carries the statistics epoch).
 func (db *Database) RefreshStats() {
 	db.st = stats.Collect(db.cat)
 	db.opt = opt.New(db.cat, db.st)
+	db.statsEpoch.Add(1)
 }
 
 // QueryOption tunes a single query's planning and execution.
 type QueryOption func(*queryConfig)
 
 type queryConfig struct {
-	optOpts    opt.Options
-	dop        int
-	instrument bool
-	budget     Budget
+	optOpts      opt.Options
+	dop          int
+	instrument   bool
+	budget       Budget
+	noPlanCache  bool
+	noSpool      bool
+	planCacheHit bool // set after compile; not a user option
 }
 
 // Budget caps one query's resource consumption. Every limit defaults to
@@ -250,6 +269,22 @@ func (e *ResourceError) Error() string {
 // probes at all, so the default path pays nothing for the feature.
 func WithInstrumentation() QueryOption {
 	return func(c *queryConfig) { c.instrument = true }
+}
+
+// WithoutPlanCache compiles the statement from scratch, neither reading
+// nor populating the statement plan cache. The benchmark harness uses it
+// to measure cold compilation; it is also the escape hatch if a cached
+// plan is ever suspected stale.
+func WithoutPlanCache() QueryOption {
+	return func(c *queryConfig) { c.noPlanCache = true }
+}
+
+// WithoutSpooling disables GApply's invariant-subtree spooling for the
+// query: every per-group execution re-runs the whole inner tree, as the
+// engine did before the spool layer. Differential tests and the spool
+// benchmark use it; there is no reason to set it in production.
+func WithoutSpooling() QueryOption {
+	return func(c *queryConfig) { c.noSpool = true }
 }
 
 // WithoutRule disables one optimizer rule (see RuleNames) for the query.
@@ -330,6 +365,13 @@ type ExecStats struct {
 	ApplyExecs         int64
 	ApplyCacheHits     int64
 	JoinProbes         int64
+	// SpoolBuilds/SpoolHits count GApply's invariant-subtree spool
+	// activity: materializations performed vs. re-Opens served by replay.
+	SpoolBuilds int64
+	SpoolHits   int64
+	// PlanCacheHits is 1 when this statement's plan came from the
+	// statement plan cache, 0 when it was compiled from scratch.
+	PlanCacheHits int64
 }
 
 // String renders the result as an aligned table (or, for an EXPLAIN
@@ -360,10 +402,11 @@ func (db *Database) Query(query string, options ...QueryOption) (*Result, error)
 // Any Budget timeout set via options composes with ctx's own deadline.
 func (db *Database) QueryContext(ctx context.Context, query string, options ...QueryOption) (*Result, error) {
 	cfg := makeConfig(options)
-	c, err := db.compile(query, cfg)
+	c, hit, err := db.compile(query, cfg)
 	if err != nil {
 		return nil, err
 	}
+	cfg.planCacheHit = hit
 	switch c.mode {
 	case sql.ExplainAnalyze:
 		e, err := db.explainCompiled(ctx, c, cfg, true)
@@ -391,7 +434,7 @@ func makeConfig(options []QueryOption) queryConfig {
 
 // Plan compiles a statement to its optimized logical plan.
 func (db *Database) Plan(query string, options ...QueryOption) (core.Node, error) {
-	c, err := db.compile(query, makeConfig(options))
+	c, _, err := db.compile(query, makeConfig(options))
 	if err != nil {
 		return nil, err
 	}
@@ -406,21 +449,46 @@ type compiled struct {
 	mode  sql.ExplainMode
 }
 
-func (db *Database) compile(query string, cfg queryConfig) (*compiled, error) {
+// planCacheKey identifies one compilation: the statement text, the
+// canonical options fingerprint, and the catalog version + statistics
+// epoch the plan was produced under (so schema changes and RefreshStats
+// invalidate implicitly).
+func (db *Database) planCacheKey(query string, cfg queryConfig) string {
+	return fmt.Sprintf("v%d.e%d|%s|%s", db.cat.Version(), db.statsEpoch.Load(), cfg.optOpts.Fingerprint(), query)
+}
+
+// compile parses, binds and optimizes a statement, consulting the
+// statement plan cache first. The second result reports a cache hit.
+// Cached compilations are immutable and shared: executions only read the
+// plan tree, so one entry serves concurrent callers.
+func (db *Database) compile(query string, cfg queryConfig) (*compiled, bool, error) {
+	var key string
+	if !cfg.noPlanCache {
+		key = db.planCacheKey(query, cfg)
+		if c, ok := db.plans.get(key); ok {
+			db.reg.Counter("plan_cache_hits").Inc()
+			return c, true, nil
+		}
+		db.reg.Counter("plan_cache_misses").Inc()
+	}
 	start := time.Now()
 	stmt, mode, err := sql.Parse(query)
 	if err != nil {
 		db.reg.Counter("query_errors").Inc()
-		return nil, err
+		return nil, false, err
 	}
 	bound, err := bind.New(db.cat).Bind(stmt)
 	if err != nil {
 		db.reg.Counter("query_errors").Inc()
-		return nil, err
+		return nil, false, err
 	}
 	plan, trace := db.opt.OptimizeTraced(bound, cfg.optOpts)
 	db.reg.Histogram("optimize_latency").Observe(time.Since(start))
-	return &compiled{plan: plan, trace: trace, mode: mode}, nil
+	c := &compiled{plan: plan, trace: trace, mode: mode}
+	if !cfg.noPlanCache {
+		db.plans.put(key, c)
+	}
+	return c, false, nil
 }
 
 // execute runs an optimized plan under the caller's context and budget.
@@ -436,6 +504,10 @@ func (db *Database) execute(ctx context.Context, c *compiled, cfg queryConfig) (
 	ectx := exec.NewContext(db.cat)
 	ectx.DOP = cfg.dop
 	ectx.Ctx = ctx
+	ectx.NoSpool = cfg.noSpool
+	if cfg.planCacheHit {
+		ectx.Counters.PlanCacheHits = 1
+	}
 	if cfg.instrument {
 		ectx.Prof = exec.NewProfile()
 	}
@@ -468,6 +540,9 @@ func (db *Database) execute(ctx context.Context, c *compiled, cfg queryConfig) (
 			ApplyExecs:         ectx.Counters.ApplyExecs,
 			ApplyCacheHits:     ectx.Counters.ApplyCacheHits,
 			JoinProbes:         ectx.Counters.JoinProbes,
+			SpoolBuilds:        ectx.Counters.SpoolBuilds,
+			SpoolHits:          ectx.Counters.SpoolHits,
+			PlanCacheHits:      ectx.Counters.PlanCacheHits,
 		},
 		Trace: toTrace(c.trace),
 		inner: res,

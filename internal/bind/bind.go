@@ -289,9 +289,15 @@ func (b *Binder) bindFromWhere(stmt *sql.SelectStmt, parent *scope) (core.Node, 
 		if err != nil {
 			return nil, nil, nil, err
 		}
+		// A group variable may appear alongside base tables — "from g,
+		// supplier where ..." joins the group with a base relation inside
+		// the per-group query (the join-heavy inners §5's Q2–Q4 describe);
+		// the invariant base-table side is what GApply's spool layer
+		// materializes once. Only a second *distinct* group variable is
+		// rejected: one scope strips one qualifier.
 		if gv != "" {
-			if len(stmt.From) > 1 {
-				return nil, nil, nil, fmt.Errorf("bind: the group variable %s must be the only relation in FROM", gv)
+			if groupVar != "" && !strings.EqualFold(groupVar, gv) {
+				return nil, nil, nil, fmt.Errorf("bind: FROM may reference at most one group variable (found %s and %s)", groupVar, gv)
 			}
 			groupVar = gv
 		}

@@ -168,6 +168,53 @@ func OuterRefsIn(n Node) []*OuterRef {
 	return out
 }
 
+// GroupInvariant reports whether the subtree's result is independent of
+// the enclosing group binding and of any outer row: it contains no
+// GroupScan (of any variable — conservative, so a nested GApply's inner
+// is never misclassified) and no OuterRef in any expression position.
+// Such a subtree produces the same rows on every re-Open within one
+// query, which is what licenses spooling it.
+func GroupInvariant(n Node) bool {
+	invariant := true
+	Walk(n, func(m Node) {
+		if _, ok := m.(*GroupScan); ok {
+			invariant = false
+		}
+	})
+	if !invariant {
+		return false
+	}
+	return len(OuterRefsIn(n)) == 0
+}
+
+// InvariantRoots returns the maximal group-invariant subtrees of a
+// per-group plan, top-down: once a subtree qualifies, its descendants
+// are not reported separately. A nested GApply is treated as opaque on
+// its inner side — only its Outer input is searched — because the
+// nested operator spools its own inner independently.
+func InvariantRoots(n Node) []Node {
+	var out []Node
+	var visit func(Node)
+	visit = func(m Node) {
+		if m == nil {
+			return
+		}
+		if GroupInvariant(m) {
+			out = append(out, m)
+			return
+		}
+		if ga, ok := m.(*GApply); ok {
+			visit(ga.Outer)
+			return
+		}
+		for _, c := range m.Children() {
+			visit(c)
+		}
+	}
+	visit(n)
+	return out
+}
+
 // DedupCols returns the column list with duplicates (same qualified name,
 // case-insensitive) removed, preserving first-occurrence order.
 func DedupCols(cols []*ColRef) []*ColRef {

@@ -161,3 +161,65 @@ func TestDedupCols(t *testing.T) {
 		t.Errorf("order not preserved: %v", got)
 	}
 }
+
+func TestGroupInvariant(t *testing.T) {
+	part := func() Node { return &Scan{Table: "part", Def: partDef()} }
+	sel := &Select{Input: part(), Cond: &Cmp{Op: ">", L: Col("p_retailprice"), R: &Lit{}}}
+	if !GroupInvariant(sel) {
+		t.Error("Select over a base scan is invariant")
+	}
+	if GroupInvariant(&GroupScan{Var: "g"}) {
+		t.Error("a GroupScan is never invariant")
+	}
+	// Any GroupScan anywhere in the subtree disqualifies it, regardless of
+	// the variable it reads.
+	j := &Join{Left: &GroupScan{Var: "other"}, Right: part()}
+	if GroupInvariant(j) {
+		t.Error("subtree containing a GroupScan is not invariant")
+	}
+	// A correlated predicate (OuterRef) also disqualifies: its result
+	// changes per outer row even though no group variable appears.
+	corr := &Select{Input: part(), Cond: &Cmp{Op: "=", L: Col("p_partkey"), R: &OuterRef{Table: "partsupp", Name: "ps_partkey"}}}
+	if GroupInvariant(corr) {
+		t.Error("correlated subtree is not invariant")
+	}
+}
+
+func TestInvariantRootsMaximal(t *testing.T) {
+	part := &Scan{Table: "part", Def: partDef()}
+	sel := &Select{Input: part, Cond: &Cmp{Op: ">", L: Col("p_retailprice"), R: &Lit{}}}
+	join := &Join{
+		Left:  &GroupScan{Var: "g", Sch: partsuppDef().Schema},
+		Right: sel,
+		Cond:  &Cmp{Op: "=", L: Col("ps_partkey"), R: Col("p_partkey")},
+	}
+	roots := InvariantRoots(join)
+	// Maximality: the Select (not the Scan under it) is the single root.
+	if len(roots) != 1 || roots[0] != Node(sel) {
+		t.Errorf("InvariantRoots = %v, want the Select subtree", roots)
+	}
+	// A fully invariant tree reports itself.
+	if roots := InvariantRoots(sel); len(roots) != 1 || roots[0] != Node(sel) {
+		t.Errorf("InvariantRoots(invariant tree) = %v", roots)
+	}
+	// No invariant subtree at all.
+	if roots := InvariantRoots(&GroupScan{Var: "g"}); len(roots) != 0 {
+		t.Errorf("InvariantRoots(GroupScan) = %v", roots)
+	}
+}
+
+func TestInvariantRootsNestedGApplyOpaque(t *testing.T) {
+	// A nested GApply spools its own inner independently; only its Outer
+	// side is searched. The invariant scan inside the nested inner must
+	// NOT be reported.
+	innerInvariant := &Scan{Table: "part", Def: partDef()}
+	nested := &GApply{
+		Outer:    &GroupScan{Var: "g", Sch: partsuppDef().Schema},
+		GroupVar: "h",
+		Inner:    &Join{Left: &GroupScan{Var: "h"}, Right: innerInvariant},
+	}
+	roots := InvariantRoots(nested)
+	if len(roots) != 0 {
+		t.Errorf("InvariantRoots looked through a nested GApply: %v", roots)
+	}
+}

@@ -19,6 +19,13 @@ func Build(n core.Node, ctx *Context) (Iterator, error) {
 // instrumented probe keyed by its plan node; with a nil Profile the
 // iterators are returned bare, so disabled instrumentation costs
 // nothing at execution time.
+//
+// When the node is a registered invariant root of the enclosing GApply's
+// inner plan, the (probe-wrapped) iterator is additionally wrapped in a
+// spool sharing the registry's holder. The spool goes outside the probe
+// on purpose: replays then bypass the subtree's instrumentation, so
+// EXPLAIN ANALYZE reports the one real execution (loops=1) at every
+// degree of parallelism.
 func build(n core.Node, ctx *Context, env compileEnv) (Iterator, error) {
 	it, err := buildNode(n, ctx, env)
 	if err != nil {
@@ -26,6 +33,11 @@ func build(n core.Node, ctx *Context, env compileEnv) (Iterator, error) {
 	}
 	if ctx.Prof != nil {
 		it = ctx.Prof.wrap(n, it)
+	}
+	if ctx.spools != nil {
+		if h, ok := ctx.spools.holders[n]; ok {
+			it = &spool{inner: it, node: n, h: h, ctx: ctx}
+		}
 	}
 	return it, nil
 }

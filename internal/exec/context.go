@@ -72,6 +72,18 @@ type Context struct {
 	// time — the data EXPLAIN ANALYZE renders. Nil (the default) keeps
 	// execution completely uninstrumented.
 	Prof *Profile
+
+	// NoSpool disables GApply's invariant-subtree spooling, forcing the
+	// pre-spool behavior of re-executing the whole inner tree per group.
+	// The differential tests and the spool benchmark flip it.
+	NoSpool bool
+
+	// spools is the spool registry of the GApply whose inner tree is
+	// currently being compiled: build wraps every registered invariant
+	// root in a spool iterator sharing that registry's materializations.
+	// buildGApply swaps it in around the inner compile; it is nil while
+	// any other part of the plan compiles.
+	spools *spoolRegistry
 }
 
 // Counters tallies work done during execution. Every field must be an
@@ -88,6 +100,9 @@ type Counters struct {
 	ApplyExecs         int64 // correlated inner executions by Apply
 	ApplyCacheHits     int64 // uncorrelated inners served from cache
 	JoinProbes         int64 // hash-join probe rows
+	SpoolBuilds        int64 // invariant subtrees materialized by a spool
+	SpoolHits          int64 // spool re-Opens served from the materialization
+	PlanCacheHits      int64 // 1 when this execution ran a plan-cache hit
 }
 
 // NewContext returns a fresh execution context over a catalog.
@@ -106,7 +121,7 @@ func (c *Context) fork() *Context {
 		groups[k] = v
 	}
 	child := &Context{Catalog: c.Catalog, DOP: c.DOP, groups: groups,
-		Ctx: c.Ctx, Budget: c.Budget}
+		Ctx: c.Ctx, Budget: c.Budget, NoSpool: c.NoSpool}
 	child.outer = append(child.outer, c.outer...)
 	if c.Prof != nil {
 		child.Prof = NewProfile()

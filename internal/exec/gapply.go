@@ -20,15 +20,31 @@ func buildGApply(g *core.GApply, ctx *Context, env compileEnv) (Iterator, error)
 	if err != nil {
 		return nil, err
 	}
+	// Identify the inner plan's maximal group-invariant subtrees and give
+	// each a shared materialization holder; the inner compile below (and
+	// every per-worker compile of the same plan) wraps those roots in
+	// spool iterators pointing at the same holders, so each invariant
+	// subtree executes once per Open no matter how many trees or workers
+	// re-Open it.
+	var spools *spoolRegistry
+	if !ctx.NoSpool {
+		if roots := core.InvariantRoots(g.Inner); len(roots) > 0 {
+			spools = newSpoolRegistry(roots)
+		}
+	}
 	// The per-group query reads the group through GroupScan, not through
 	// OuterRefs, so it compiles against the same env.
+	prevSpools := ctx.spools
+	ctx.spools = spools
 	inner, err := build(g.Inner, ctx, env)
+	ctx.spools = prevSpools
 	if err != nil {
 		return nil, err
 	}
 	return &gapply{
 		outer:     outer,
 		inner:     inner,
+		spools:    spools,
 		innerPlan: g.Inner,
 		plan:      g,
 		env:       env,
@@ -75,6 +91,7 @@ type gapply struct {
 	groupVar     string
 	sortPart     bool
 	correlated   bool
+	spools       *spoolRegistry // nil when the inner has no invariant subtrees
 
 	groups  [][]types.Row
 	gpos    int
@@ -90,6 +107,11 @@ func (g *gapply) Open() error {
 	if g.par != nil { // re-Open without an intervening Close
 		g.par.shutdown()
 		g.par = nil
+	}
+	if g.spools != nil {
+		// Fresh materializations once per Open: the previous pool (if any)
+		// has fully stopped above, so no worker can observe the reset.
+		g.spools.reset()
 	}
 	rows, err := drainWith(g.outer, g.ctx)
 	if err != nil {
@@ -365,6 +387,10 @@ func (g *gapply) startWorkers(dop int) *parRun {
 			defer p.wg.Done()
 			wctx := g.ctx.fork()
 			wctx.Ctx = wctxCtx
+			// The worker compiles its private inner tree against the
+			// gapply's spool registry, so its spool iterators share the
+			// holders (and materializations) of every other tree.
+			wctx.spools = g.spools
 			var inner Iterator
 			for {
 				select {
@@ -427,9 +453,21 @@ func evalGroup(g *gapply, wctx *Context, inner Iterator, group []types.Row) parG
 	rows, err := drainWith(inner, wctx)
 	out := parGroup{err: err}
 	if err == nil {
+		// Prefix every output row with the grouping-column values, copying
+		// into one slab for the whole group instead of allocating a fresh
+		// backing array per row (key.Concat would); the three-index slices
+		// keep rows from aliasing each other's capacity.
+		total := 0
+		for _, r := range rows {
+			total += len(key) + len(r)
+		}
+		slab := make(types.Row, 0, total)
 		out.rows = make([]types.Row, len(rows))
 		for i, r := range rows {
-			out.rows[i] = key.Concat(r)
+			start := len(slab)
+			slab = append(slab, key...)
+			slab = append(slab, r...)
+			out.rows[i] = slab[start:len(slab):len(slab)]
 		}
 	}
 	out.delta = wctx.Counters.Sub(before)

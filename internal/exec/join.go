@@ -60,6 +60,12 @@ func buildJoin(j *core.Join, ctx *Context, env compileEnv) (Iterator, error) {
 // probes it with left rows; the full join condition runs as a residual
 // predicate over the concatenated row. Left-outer pads NULLs for
 // unmatched left rows.
+//
+// When the right input is a stable materialization (a spool: it reports
+// a content generation), the build table is kept across re-Opens and
+// rebuilt only when the generation changes — so a per-group query that
+// joins $group against an invariant build side pays the rehash once per
+// gapply.Open instead of once per group.
 type hashJoin struct {
 	left, right Iterator
 	pred        func(types.Row, *Context) (bool, error)
@@ -69,31 +75,53 @@ type hashJoin struct {
 	outerJoin   bool
 	rightArity  int
 
-	table   map[string][]types.Row
-	cur     types.Row // current left row
-	bucket  []types.Row
-	bpos    int
-	matched bool
+	table    map[string][]types.Row
+	tableGen uint64 // spool generation the table was built from
+	hasGen   bool   // table came from a generation-stable right input
+	scratch  []byte // per-iterator probe-key buffer (no per-row alloc)
+	cur      types.Row
+	bucket   []types.Row
+	bpos     int
+	matched  bool
 }
 
 func (h *hashJoin) Open() error {
+	// Always Open the right input — for a spool that is where the
+	// build-once/replay accounting happens, deterministically once per
+	// group at any dop — and only skip the drain+rehash when the content
+	// generation says the existing table is still current.
 	if err := h.right.Open(); err != nil {
 		return err
 	}
-	h.table = make(map[string][]types.Row)
-	for {
-		if err := h.ctx.tick(); err != nil {
-			return err
+	rebuild := true
+	if cv, ok := h.right.(contentVersioned); ok {
+		if gen, stable := cv.contentGen(); stable {
+			if h.hasGen && h.table != nil && gen == h.tableGen {
+				rebuild = false
+			} else {
+				h.tableGen, h.hasGen = gen, true
+			}
+		} else {
+			h.hasGen = false
 		}
-		r, ok, err := h.right.Next()
-		if err != nil {
-			return err
+	}
+	if rebuild {
+		h.table = make(map[string][]types.Row)
+		for {
+			if err := h.ctx.tick(); err != nil {
+				return err
+			}
+			r, ok, err := h.right.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			h.scratch = r.AppendKey(h.scratch[:0], h.rightOrds)
+			k := string(h.scratch) // the map key must own its bytes
+			h.table[k] = append(h.table[k], r)
 		}
-		if !ok {
-			break
-		}
-		k := r.Key(h.rightOrds)
-		h.table[k] = append(h.table[k], r)
 	}
 	if err := h.right.Close(); err != nil {
 		return err
@@ -123,7 +151,11 @@ func (h *hashJoin) Next() (types.Row, bool, error) {
 			if hasNull {
 				h.bucket = nil
 			} else {
-				h.bucket = h.table[r.Key(h.leftOrds)]
+				// Probe with a reused scratch buffer: m[string(b)] compiles
+				// to an allocation-free lookup, so the per-left-row key
+				// costs no garbage.
+				h.scratch = r.AppendKey(h.scratch[:0], h.leftOrds)
+				h.bucket = h.table[string(h.scratch)]
 			}
 			h.bpos, h.matched = 0, false
 		}
@@ -150,7 +182,12 @@ func (h *hashJoin) Next() (types.Row, bool, error) {
 }
 
 func (h *hashJoin) Close() error {
-	h.table = nil
+	// A generation-stable table is the whole point of the spool-fed
+	// rebuild skip: keep it across the per-group Open/Close cycle.
+	// Tables built from an unstable input are dropped as before.
+	if !h.hasGen {
+		h.table = nil
+	}
 	return h.left.Close()
 }
 

@@ -21,12 +21,23 @@ type NodeStats struct {
 	// ANALYZE in mainstream engines). Under parallel GApply the workers'
 	// times sum, so a node's Time may exceed the query's elapsed time.
 	Time time.Duration
+	// SpoolBuilds/SpoolHits/SpoolBytes are set only on a node GApply
+	// spooled: how often its materialization was built (once per
+	// gapply.Open) vs. replayed, and the materialization's estimated
+	// size. Rows/Opens/Time above then describe the real executions
+	// only — replays bypass the probe.
+	SpoolBuilds int64
+	SpoolHits   int64
+	SpoolBytes  int64
 }
 
 func (s *NodeStats) add(o NodeStats) {
 	s.Rows += o.Rows
 	s.Opens += o.Opens
 	s.Time += o.Time
+	s.SpoolBuilds += o.SpoolBuilds
+	s.SpoolHits += o.SpoolHits
+	s.SpoolBytes += o.SpoolBytes
 }
 
 // Profile collects per-operator runtime statistics for one execution,
@@ -89,7 +100,12 @@ func (p *Profile) since(snap map[core.Node]NodeStats) map[core.Node]NodeStats {
 	delta := make(map[core.Node]NodeStats, len(p.stats))
 	for n, s := range p.stats {
 		prev := snap[n] // zero value for nodes first seen after the snapshot
-		d := NodeStats{Rows: s.Rows - prev.Rows, Opens: s.Opens - prev.Opens, Time: s.Time - prev.Time}
+		d := NodeStats{
+			Rows: s.Rows - prev.Rows, Opens: s.Opens - prev.Opens, Time: s.Time - prev.Time,
+			SpoolBuilds: s.SpoolBuilds - prev.SpoolBuilds,
+			SpoolHits:   s.SpoolHits - prev.SpoolHits,
+			SpoolBytes:  s.SpoolBytes - prev.SpoolBytes,
+		}
 		if d != (NodeStats{}) {
 			delta[n] = d
 		}

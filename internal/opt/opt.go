@@ -13,6 +13,10 @@
 package opt
 
 import (
+	"fmt"
+	"sort"
+	"strings"
+
 	"gapplydb/internal/core"
 	"gapplydb/internal/rules"
 	"gapplydb/internal/stats"
@@ -33,6 +37,25 @@ type Options struct {
 	// SkipOptimization returns the bound plan untouched except for
 	// physical hints — the "no optimizer" baseline.
 	SkipOptimization bool
+}
+
+// Fingerprint renders the options in a canonical textual form: equal
+// option sets — however the maps were populated — produce equal strings.
+// The statement plan cache keys on it, because every field here changes
+// what plan compilation produces.
+func (o Options) Fingerprint() string {
+	names := func(m map[string]bool) string {
+		on := make([]string, 0, len(m))
+		for n, v := range m {
+			if v {
+				on = append(on, n)
+			}
+		}
+		sort.Strings(on)
+		return strings.Join(on, ",")
+	}
+	return fmt.Sprintf("disable=%s;force=%s;partition=%d;skip=%t",
+		names(o.DisableRules), names(o.ForceRules), o.Partition, o.SkipOptimization)
 }
 
 // Optimizer rewrites logical plans.

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"gapplydb/internal/schema"
 	"gapplydb/internal/types"
@@ -48,7 +49,14 @@ func (t *Table) Cardinality() int { return len(t.Rows) }
 type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
+	// version counts schema changes (Create/Drop). Plans compiled against
+	// one version are invalid under another; the statement plan cache
+	// keys on it.
+	version atomic.Uint64
 }
+
+// Version returns the schema-change counter. Safe for concurrent use.
+func (c *Catalog) Version() uint64 { return c.version.Load() }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
@@ -69,6 +77,7 @@ func (c *Catalog) Create(def *schema.TableDef) (*Table, error) {
 	def = &schema.TableDef{Name: def.Name, Schema: qualified, PrimaryKey: def.PrimaryKey, ForeignKeys: def.ForeignKeys}
 	t := &Table{Def: def}
 	c.tables[key] = t
+	c.version.Add(1)
 	return t, nil
 }
 
@@ -81,6 +90,7 @@ func (c *Catalog) Drop(name string) error {
 		return fmt.Errorf("storage: unknown table %q", name)
 	}
 	delete(c.tables, key)
+	c.version.Add(1)
 	return nil
 }
 

@@ -66,14 +66,21 @@ func (r Row) Hash(cols []int) uint64 {
 // integer encoding — two distinct int64 grouping keys must never merge,
 // however large (hash- and sort-based partitioning both rely on this).
 func (r Row) Key(cols []int) string {
-	var b strings.Builder
+	return string(r.AppendKey(nil, cols))
+}
+
+// AppendKey appends the canonical key encoding of the listed columns
+// (exactly Key's encoding) to dst and returns the extended slice. Hot
+// paths that probe a map per row reuse one scratch buffer with
+// AppendKey(buf[:0], cols) and look up with m[string(buf)] — a pattern
+// the compiler turns into an allocation-free lookup.
+func (r Row) AppendKey(dst []byte, cols []int) []byte {
 	var buf [9]byte
 	for _, c := range cols {
 		v := r[c]
 		switch v.K {
 		case KindNull:
-			buf[0] = 0
-			b.Write(buf[:1])
+			dst = append(dst, 0)
 		case KindInt:
 			if f, ok := exactFloatImage(v.I); ok {
 				buf[0] = 1
@@ -82,27 +89,25 @@ func (r Row) Key(cols []int) string {
 				buf[0] = 5
 				binary.LittleEndian.PutUint64(buf[1:], uint64(v.I))
 			}
-			b.Write(buf[:9])
+			dst = append(dst, buf[:9]...)
 		case KindFloat:
 			buf[0] = 1
 			binary.LittleEndian.PutUint64(buf[1:], math.Float64bits(canonFloat(v.F)))
-			b.Write(buf[:9])
+			dst = append(dst, buf[:9]...)
 		case KindString:
 			buf[0] = 2
 			binary.LittleEndian.PutUint64(buf[1:], uint64(len(v.S)))
-			b.Write(buf[:9])
-			b.WriteString(v.S)
+			dst = append(dst, buf[:9]...)
+			dst = append(dst, v.S...)
 		case KindBool:
-			buf[0] = 3
-			buf[1] = byte(v.I)
-			b.Write(buf[:2])
+			dst = append(dst, 3, byte(v.I))
 		case KindDate:
 			buf[0] = 4
 			binary.LittleEndian.PutUint64(buf[1:], uint64(v.I))
-			b.Write(buf[:9])
+			dst = append(dst, buf[:9]...)
 		}
 	}
-	return b.String()
+	return dst
 }
 
 // Bytes estimates the in-memory footprint of the row: the value structs

@@ -134,10 +134,11 @@ func (e *Explanation) planResult() *Result {
 // prefix.
 func (db *Database) ExplainPlan(query string, options ...QueryOption) (*Explanation, error) {
 	cfg := makeConfig(options)
-	c, err := db.compile(query, cfg)
+	c, hit, err := db.compile(query, cfg)
 	if err != nil {
 		return nil, err
 	}
+	cfg.planCacheHit = hit
 	return db.explainCompiled(context.Background(), c, cfg, false)
 }
 
@@ -154,10 +155,11 @@ func (db *Database) ExplainAnalyze(query string, options ...QueryOption) (*Expla
 // deadline and budget rules as QueryContext.
 func (db *Database) ExplainAnalyzeContext(ctx context.Context, query string, options ...QueryOption) (*Explanation, error) {
 	cfg := makeConfig(options)
-	c, err := db.compile(query, cfg)
+	c, hit, err := db.compile(query, cfg)
 	if err != nil {
 		return nil, err
 	}
+	cfg.planCacheHit = hit
 	return db.explainCompiled(ctx, c, cfg, true)
 }
 
@@ -184,6 +186,11 @@ func (db *Database) explainCompiled(ctx context.Context, c *compiled, cfg queryC
 		if prof != nil {
 			a := prof.Stats(n)
 			s += fmt.Sprintf(" (actual rows=%d loops=%d time=%s)", a.Rows, a.Opens, a.Time.Round(time.Microsecond))
+			if a.SpoolBuilds > 0 || a.SpoolHits > 0 {
+				// This subtree was spooled: actuals above are the single
+				// real execution; re-Opens replayed the materialization.
+				s += fmt.Sprintf(" (spool builds=%d hits=%d bytes=%d)", a.SpoolBuilds, a.SpoolHits, a.SpoolBytes)
+			}
 		}
 		return s
 	}
@@ -210,4 +217,9 @@ func (db *Database) recordExecMetrics(c exec.Counters) {
 	db.reg.Counter("apply_execs").Add(c.ApplyExecs)
 	db.reg.Counter("apply_cache_hits").Add(c.ApplyCacheHits)
 	db.reg.Counter("join_probes").Add(c.JoinProbes)
+	db.reg.Counter("spool_builds").Add(c.SpoolBuilds)
+	db.reg.Counter("spool_hits").Add(c.SpoolHits)
+	// PlanCacheHits is intentionally NOT folded here: the registry's
+	// plan_cache_hits/plan_cache_misses are counted once at compile time,
+	// and an execution-side add would double-count hits.
 }

@@ -1,0 +1,79 @@
+package gapplydb
+
+import (
+	"container/list"
+	"sync"
+)
+
+// planCacheCapacity bounds the statement plan cache: enough for a
+// realistic publishing workload's statement set (the paper's evaluation
+// uses a handful of templates), small enough that a scan of ad-hoc
+// statements cannot hold memory.
+const planCacheCapacity = 256
+
+// planCache is a bounded LRU of compiled statements, keyed by (query
+// text, options fingerprint, catalog version, stats epoch). Cached
+// entries are immutable after insertion — the plan tree and trace are
+// only ever read by executions — so one entry may serve any number of
+// concurrent callers. Safe for concurrent use.
+type planCache struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+}
+
+type planCacheEntry struct {
+	key string
+	c   *compiled
+}
+
+func newPlanCache() *planCache {
+	return &planCache{entries: make(map[string]*list.Element), lru: list.New()}
+}
+
+// get returns the cached compilation for key, marking it most recently
+// used.
+func (p *planCache) get(key string) (*compiled, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	el, ok := p.entries[key]
+	if !ok {
+		return nil, false
+	}
+	p.lru.MoveToFront(el)
+	return el.Value.(*planCacheEntry).c, true
+}
+
+// put inserts (or refreshes) a compilation, evicting the least recently
+// used entry past capacity. Entries keyed under an old catalog version
+// or stats epoch are never looked up again and age out the same way.
+func (p *planCache) put(key string, c *compiled) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.entries[key]; ok {
+		el.Value.(*planCacheEntry).c = c
+		p.lru.MoveToFront(el)
+		return
+	}
+	p.entries[key] = p.lru.PushFront(&planCacheEntry{key: key, c: c})
+	for p.lru.Len() > planCacheCapacity {
+		last := p.lru.Back()
+		p.lru.Remove(last)
+		delete(p.entries, last.Value.(*planCacheEntry).key)
+	}
+}
+
+// clear drops every entry.
+func (p *planCache) clear() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.entries = make(map[string]*list.Element)
+	p.lru.Init()
+}
+
+// len reports the current entry count (tests).
+func (p *planCache) len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lru.Len()
+}

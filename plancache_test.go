@@ -1,0 +1,224 @@
+package gapplydb_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gapplydb"
+)
+
+// The plan-cache battery uses fresh databases: the cache and its metrics
+// are per-Database state, and the shared integration instance has an
+// unknown compile history.
+
+func cacheDB(t *testing.T) *gapplydb.Database {
+	t.Helper()
+	db, err := gapplydb.OpenTPCH(0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+const cacheQuery = `select gapply(select p_name from g where p_retailprice > 1500)
+	from partsupp, part where ps_partkey = p_partkey group by ps_suppkey : g`
+
+// TestPlanCacheHitOnRepeat: the first execution compiles and caches; the
+// second is served from the cache — visible per query in Stats and in
+// the lifetime metrics, and the optimizer runs only once.
+func TestPlanCacheHitOnRepeat(t *testing.T) {
+	db := cacheDB(t)
+	first, err := db.Query(cacheQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.PlanCacheHits != 0 {
+		t.Errorf("cold query PlanCacheHits = %d, want 0", first.Stats.PlanCacheHits)
+	}
+	second, err := db.Query(cacheQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Stats.PlanCacheHits != 1 {
+		t.Errorf("warm query PlanCacheHits = %d, want 1", second.Stats.PlanCacheHits)
+	}
+	if d := firstDiff(ordered(first), ordered(second)); d != "" {
+		t.Fatalf("cached plan changed the result: %s", d)
+	}
+	m := db.Metrics()
+	if m.Counters["plan_cache_hits"] != 1 || m.Counters["plan_cache_misses"] != 1 {
+		t.Errorf("metrics hits=%d misses=%d, want 1/1",
+			m.Counters["plan_cache_hits"], m.Counters["plan_cache_misses"])
+	}
+	// The cached path skips parse/bind/optimize entirely: exactly one
+	// optimize_latency observation across both executions.
+	if got := m.Histograms["optimize_latency"].Count; got != 1 {
+		t.Errorf("optimize_latency count = %d, want 1 (hit must not re-optimize)", got)
+	}
+}
+
+// TestPlanCacheBypass: WithoutPlanCache neither consults nor populates
+// the cache.
+func TestPlanCacheBypass(t *testing.T) {
+	db := cacheDB(t)
+	for i := 0; i < 2; i++ {
+		res, err := db.Query(cacheQuery, gapplydb.WithoutPlanCache())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.PlanCacheHits != 0 {
+			t.Errorf("run %d: WithoutPlanCache reported a hit", i)
+		}
+	}
+	m := db.Metrics()
+	if m.Counters["plan_cache_hits"] != 0 || m.Counters["plan_cache_misses"] != 0 {
+		t.Errorf("bypass touched the cache counters: %+v", m.Counters)
+	}
+	// An uncached run also must not have primed the cache for later ones.
+	res, err := db.Query(cacheQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PlanCacheHits != 0 {
+		t.Error("WithoutPlanCache populated the cache")
+	}
+}
+
+// TestPlanCacheOptionsKeyed: the cache key carries the options
+// fingerprint, so the same text planned under different rule settings
+// compiles separately — a disabled-rule run never reuses the default
+// plan.
+func TestPlanCacheOptionsKeyed(t *testing.T) {
+	db := cacheDB(t)
+	if _, err := db.Query(cacheQuery); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(cacheQuery, gapplydb.WithoutRule("selection-before-gapply"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PlanCacheHits != 0 {
+		t.Error("different rule options hit the default plan's cache entry")
+	}
+	// The same options again do hit.
+	res, err = db.Query(cacheQuery, gapplydb.WithoutRule("selection-before-gapply"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PlanCacheHits != 1 {
+		t.Error("repeated options fingerprint missed the cache")
+	}
+}
+
+// TestPlanCacheInvalidation covers all three invalidation paths: schema
+// change (catalog version), RefreshStats (statistics epoch), and the
+// explicit InvalidatePlanCache hook.
+func TestPlanCacheInvalidation(t *testing.T) {
+	db := cacheDB(t)
+	warm := func(label string) {
+		t.Helper()
+		if _, err := db.Query(cacheQuery); err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		res, err := db.Query(cacheQuery)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if res.Stats.PlanCacheHits != 1 {
+			t.Fatalf("%s: warm-up did not hit", label)
+		}
+	}
+	expectCold := func(label string) {
+		t.Helper()
+		res, err := db.Query(cacheQuery)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if res.Stats.PlanCacheHits != 0 {
+			t.Errorf("%s did not invalidate the cached plan", label)
+		}
+	}
+
+	warm("initial")
+	if err := db.CreateTable("pc_scratch", []gapplydb.Column{{Name: "x", Type: "int"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	expectCold("CreateTable")
+
+	warm("pre-refresh")
+	db.RefreshStats()
+	expectCold("RefreshStats")
+
+	warm("pre-invalidate")
+	db.InvalidatePlanCache()
+	expectCold("InvalidatePlanCache")
+}
+
+// TestPlanCacheEviction: the LRU bound holds — after more distinct
+// statements than the capacity, the oldest entry has been evicted and
+// recompiles.
+func TestPlanCacheEviction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles several hundred statements")
+	}
+	db := cacheDB(t)
+	stmt := func(i int) string {
+		return fmt.Sprintf("select s_name from supplier where s_suppkey = %d", i)
+	}
+	if _, err := db.Query(stmt(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Push 300 more distinct statements through a 256-entry cache.
+	for i := 1; i <= 300; i++ {
+		if _, err := db.Query(stmt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := db.Query(stmt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PlanCacheHits != 0 {
+		t.Error("statement 0 survived 300 subsequent distinct compiles in a 256-entry LRU")
+	}
+	// The most recent statement is still resident.
+	res, err = db.Query(stmt(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PlanCacheHits != 1 {
+		t.Error("most recently used statement was evicted")
+	}
+}
+
+// TestPlanCacheConcurrent hammers one database from many goroutines
+// mixing hits, misses and invalidations; run under -race this is the
+// cache's thread-safety proof.
+func TestPlanCacheConcurrent(t *testing.T) {
+	db := cacheDB(t)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		g := g
+		go func() {
+			for i := 0; i < 20; i++ {
+				q := cacheQuery
+				if g%2 == 0 {
+					q = fmt.Sprintf("select s_name from supplier where s_suppkey = %d", i%5)
+				}
+				if _, err := db.Query(q); err != nil {
+					done <- err
+					return
+				}
+				if g == 0 && i%7 == 0 {
+					db.InvalidatePlanCache()
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package gapplydb_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"gapplydb"
+	"gapplydb/experiments"
+	"gapplydb/xmlpub"
+)
+
+// The spool battery covers the invariant-subtree spool: per-group plans
+// that join the group variable against base tables have a group-invariant
+// side that is materialized once per GApply and replayed for every other
+// group, at any parallel degree. Spooling is an execution-layer rewrite,
+// so it must be invisible in the output: rows byte-identical (order
+// included) with the spool on and off, serial and parallel.
+
+// spoolQueries are the spooling experiment's join-heavy statements:
+// per-group plans whose inner trees carry a group-invariant subtree (a
+// base-table scan, optionally under a selection, on the build side of
+// the per-group join).
+func spoolQueries() []experiments.SuiteQuery {
+	return experiments.SpoolQueries()
+}
+
+// TestSpoolDifferential: spool on vs off at dop 1, 2 and 8 produce
+// byte-identical ordered rows, and the counters confirm the spool really
+// engaged (builds > 0 on, == 0 off).
+func TestSpoolDifferential(t *testing.T) {
+	db := integDatabase(t)
+	for _, q := range spoolQueries() {
+		q := q
+		t.Run(q.Name, func(t *testing.T) {
+			base, err := db.Query(q.SQL, gapplydb.WithDOP(1), gapplydb.WithoutSpooling())
+			if err != nil {
+				t.Fatalf("spool off: %v", err)
+			}
+			if base.Stats.SpoolBuilds != 0 || base.Stats.SpoolHits != 0 {
+				t.Fatalf("WithoutSpooling still spooled: %+v", base.Stats)
+			}
+			want := ordered(base)
+			for _, dop := range []int{1, 2, 8} {
+				off, err := db.Query(q.SQL, gapplydb.WithDOP(dop), gapplydb.WithoutSpooling())
+				if err != nil {
+					t.Fatalf("dop %d spool off: %v", dop, err)
+				}
+				if d := firstDiff(want, ordered(off)); d != "" {
+					t.Fatalf("dop %d spool off diverged: %s", dop, d)
+				}
+				on, err := db.Query(q.SQL, gapplydb.WithDOP(dop))
+				if err != nil {
+					t.Fatalf("dop %d spool on: %v", dop, err)
+				}
+				if on.Stats.SpoolBuilds == 0 {
+					t.Fatalf("dop %d: no spool engaged on a join-heavy inner: %+v", dop, on.Stats)
+				}
+				if d := firstDiff(want, ordered(on)); d != "" {
+					t.Fatalf("dop %d spool on diverged: %s", dop, d)
+				}
+			}
+		})
+	}
+}
+
+// TestSpoolBuildOnce pins the sharing contract: one GApply execution
+// materializes each invariant subtree exactly once — even with eight
+// workers re-Opening the per-group plan — and every other group replays
+// it. RowsScanned confirms the base table under the spool was read once.
+func TestSpoolBuildOnce(t *testing.T) {
+	db := integDatabase(t)
+	sql := spoolQueries()[0].SQL
+	for _, dop := range []int{1, 8} {
+		res, err := db.Query(sql, gapplydb.WithDOP(dop))
+		if err != nil {
+			t.Fatalf("dop %d: %v", dop, err)
+		}
+		if res.Stats.SpoolBuilds != 1 {
+			t.Errorf("dop %d: SpoolBuilds = %d, want 1", dop, res.Stats.SpoolBuilds)
+		}
+		if want := res.Stats.Groups - 1; res.Stats.SpoolHits != want {
+			t.Errorf("dop %d: SpoolHits = %d, want groups-1 = %d", dop, res.Stats.SpoolHits, want)
+		}
+		// partsupp once for the outer + part once for the single build:
+		// without the spool the part scan repeats per group.
+		off, err := db.Query(sql, gapplydb.WithDOP(dop), gapplydb.WithoutSpooling())
+		if err != nil {
+			t.Fatalf("dop %d off: %v", dop, err)
+		}
+		if res.Stats.RowsScanned >= off.Stats.RowsScanned {
+			t.Errorf("dop %d: spool did not reduce scanning: on=%d off=%d",
+				dop, res.Stats.RowsScanned, off.Stats.RowsScanned)
+		}
+	}
+}
+
+// TestSpoolExplainAnalyze checks the report surface: the spooled subtree
+// is annotated with builds/hits/bytes, and its actuals show the single
+// real execution (loops=1) at any degree.
+func TestSpoolExplainAnalyze(t *testing.T) {
+	db := integDatabase(t)
+	e, err := db.ExplainAnalyze(spoolQueries()[0].SQL, gapplydb.WithDOP(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Plan, "spool builds=1") {
+		t.Errorf("EXPLAIN ANALYZE lacks spool annotation:\n%s", e.Plan)
+	}
+	if !strings.Contains(e.Plan, "hits=") || !strings.Contains(e.Plan, "bytes=") {
+		t.Errorf("spool annotation incomplete:\n%s", e.Plan)
+	}
+}
+
+// TestSpoolXMLDifferential locks in the end product: published documents
+// are byte-identical with spooling disabled, across strategies and
+// degrees (the Figure 8 views exercise the whole publishing stack).
+func TestSpoolXMLDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential battery skipped in -short mode")
+	}
+	db := integDatabase(t)
+	for _, tc := range []struct {
+		name string
+		q    *xmlpub.FLWR
+	}{{"Q1", xmlpub.Q1()}, {"Q2", xmlpub.Q2()}} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var want string
+			for _, spool := range []bool{true, false} {
+				for _, dop := range []int{1, 8} {
+					opts := []gapplydb.QueryOption{gapplydb.WithDOP(dop)}
+					if !spool {
+						opts = append(opts, gapplydb.WithoutSpooling())
+					}
+					var buf stringsBuilder
+					if _, err := xmlpub.Publish(db, tc.q, xmlpub.GApply, &buf, opts...); err != nil {
+						t.Fatalf("spool=%t dop %d: %v", spool, dop, err)
+					}
+					doc := buf.String()
+					if want == "" {
+						want = doc
+						continue
+					}
+					if doc != want {
+						t.Fatalf("spool=%t dop %d produced a different document", spool, dop)
+					}
+				}
+			}
+			if want == "" {
+				t.Fatal("empty document")
+			}
+		})
+	}
+}
+
+// TestSpoolBudget: spooled bytes count against MaxPartitionBytes, so a
+// budget that the materialization exceeds kills the query with a
+// ResourceError instead of buffering past the cap.
+func TestSpoolBudget(t *testing.T) {
+	db := integDatabase(t)
+	_, err := db.Query(spoolQueries()[1].SQL,
+		gapplydb.WithBudget(gapplydb.Budget{MaxPartitionBytes: 64}))
+	if err == nil {
+		t.Fatal("expected a resource error from the spool materialization")
+	}
+	var re *gapplydb.ResourceError
+	if !errors.As(err, &re) {
+		t.Fatalf("error = %v, want *ResourceError", err)
+	}
+}
