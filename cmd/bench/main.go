@@ -10,6 +10,13 @@
 //	                         # plan-cache measurements plus per-query
 //	                         # observability records (plan hash, rule trace,
 //	                         # analyzed plan, stats)
+//	bench -remote host:7744  # differential smoke against a running gapplyd:
+//	                         # execute the whole suite in-process and over the
+//	                         # wire (rows and published XML, dop 1 and 8) and
+//	                         # fail on any byte-level divergence
+//	bench -remote host:7744 -soak 50   # …then a 50-client concurrency soak,
+//	                         # every successful result verified, admission
+//	                         # fast-rejections tolerated and counted
 package main
 
 import (
@@ -30,7 +37,22 @@ func main() {
 	dop := flag.Int("dop", 0, "GApply degree of parallelism (0 = GOMAXPROCS, 1 = serial)")
 	timeout := flag.Duration("timeout", 0, "per-query wall-clock limit (0 = unlimited); a query past it fails instead of hanging the run")
 	jsonPath := flag.String("json", "", "write per-query JSON reports (plan hash, trace, operator timings) to this file")
+	remote := flag.String("remote", "", "differential smoke against a gapplyd server at host:port: run the whole suite in-process and over the wire, fail on any byte difference")
+	soak := flag.Int("soak", 0, "with -remote: follow the differential with a concurrency soak of this many clients hammering the server at once")
 	flag.Parse()
+
+	if *remote != "" {
+		// The server must hold TPC-H at the same -sf (generation is
+		// deterministic, so equal scale factors mean equal data).
+		dops := []int{1, *dop}
+		if *dop <= 1 {
+			dops = []int{1, 8}
+		}
+		if err := runRemote(*remote, *sf, dops, *soak); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	experiments.Repeats = *repeats
 	experiments.DOP = *dop

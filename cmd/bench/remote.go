@@ -1,0 +1,245 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"gapplydb"
+	"gapplydb/client"
+	"gapplydb/experiments"
+	"gapplydb/xmlpub"
+)
+
+// runRemote is the -remote mode: a differential smoke test of a running
+// gapplyd server. It loads the same deterministic TPC-H data the server
+// holds, executes the full evaluation workload (every Figure 8 /
+// Table 1 / spooling statement) both in-process and over the wire at
+// each requested dop, and fails on the first byte-level divergence in
+// rows or published XML. The comparison is exact — the wire codec
+// carries the same Go representations Result.Rows uses, so any
+// difference is a protocol bug, not formatting noise.
+func runRemote(addr string, sf float64, dops []int, soak int) error {
+	fmt.Printf("loading local TPC-H reference at scale factor %g...\n", sf)
+	start := time.Now()
+	db, err := gapplydb.OpenTPCH(sf)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	fmt.Printf("loaded in %v\n", time.Since(start).Round(time.Millisecond))
+
+	conn, err := client.Dial(addr)
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	fmt.Printf("connected to %s (%s)\n\n", addr, conn.Banner())
+
+	ctx := context.Background()
+	suite := experiments.SuiteQueries()
+	for _, dop := range dops {
+		fmt.Printf("== remote differential, dop %d: %d statements ==\n", dop, len(suite))
+		var localTotal, remoteTotal time.Duration
+		for _, q := range suite {
+			local, err := db.QueryContext(ctx, q.SQL, gapplydb.WithDOP(dop))
+			if err != nil {
+				return fmt.Errorf("%s: local: %w", q.Name, err)
+			}
+			rstart := time.Now()
+			rows, err := conn.Query(ctx, q.SQL, client.WithDOP(dop))
+			if err != nil {
+				return fmt.Errorf("%s: remote: %w", q.Name, err)
+			}
+			var remote [][]any
+			for {
+				row, ok, err := rows.Next()
+				if err != nil {
+					return fmt.Errorf("%s: remote stream: %w", q.Name, err)
+				}
+				if !ok {
+					break
+				}
+				remote = append(remote, row)
+			}
+			remoteElapsed := time.Since(rstart)
+			if err := diffRows(local.Columns, local.Rows, rows.Columns, remote); err != nil {
+				return fmt.Errorf("%s (dop %d): %w", q.Name, dop, err)
+			}
+			localTotal += local.Elapsed
+			remoteTotal += remoteElapsed
+		}
+		fmt.Printf("rows: all %d statements byte-identical (local exec %v, remote wall %v)\n",
+			len(suite), localTotal.Round(time.Microsecond), remoteTotal.Round(time.Microsecond))
+
+		for _, v := range []struct {
+			name string
+			q    *xmlpub.FLWR
+		}{
+			{"Q1", xmlpub.Q1()},
+			{"Q2", xmlpub.Q2()},
+			{"Q3", xmlpub.Q3(0.9, 1.1)},
+			{"ExpensiveSuppliers", xmlpub.ExpensiveSuppliers(1000)},
+			{"RichSuppliers", xmlpub.RichSuppliers(5000)},
+		} {
+			var localXML, remoteXML bytes.Buffer
+			if _, err := xmlpub.Publish(db, v.q, xmlpub.GApply, &localXML, gapplydb.WithDOP(dop)); err != nil {
+				return fmt.Errorf("xml %s: local: %w", v.name, err)
+			}
+			if _, err := conn.QueryXML(ctx, v.q.GApplySQL(), v.q.TagPlan(), &remoteXML, client.WithDOP(dop)); err != nil {
+				return fmt.Errorf("xml %s: remote: %w", v.name, err)
+			}
+			if !bytes.Equal(localXML.Bytes(), remoteXML.Bytes()) {
+				return fmt.Errorf("xml %s (dop %d): documents differ (local %d bytes, remote %d bytes)",
+					v.name, dop, localXML.Len(), remoteXML.Len())
+			}
+		}
+		fmt.Printf("xml: all 5 published documents byte-identical\n\n")
+	}
+	fmt.Println("remote differential: PASS")
+
+	if soak > 0 {
+		if err := runSoak(addr, db, soak); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// soakIters is how many statements each soak client issues.
+const soakIters = 10
+
+// runSoak hammers the server with `clients` concurrent connections,
+// each issuing a rotating mix of suite statements and verifying every
+// successful result against the in-process reference. Fast rejections
+// from admission control (the busy code) are expected under this load
+// and counted, not failed; any other error, and any value divergence,
+// fails the soak.
+func runSoak(addr string, db *gapplydb.Database, clients int) error {
+	suite := experiments.SuiteQueries()
+	if len(suite) > 4 {
+		suite = suite[:4] // the soak is about concurrency, not coverage
+	}
+	type ref struct {
+		cols []string
+		rows [][]any
+	}
+	ctx := context.Background()
+	refs := make([]ref, len(suite))
+	for i, q := range suite {
+		local, err := db.QueryContext(ctx, q.SQL)
+		if err != nil {
+			return fmt.Errorf("soak reference %s: %w", q.Name, err)
+		}
+		refs[i] = ref{cols: local.Columns, rows: local.Rows}
+	}
+
+	fmt.Printf("== soak: %d clients × %d statements ==\n", clients, soakIters)
+	var (
+		wg         sync.WaitGroup
+		mu         sync.Mutex
+		okCount    int
+		busyCount  int
+		firstError error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstError == nil {
+			firstError = err
+		}
+		mu.Unlock()
+	}
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := client.Dial(addr)
+			if err != nil {
+				fail(fmt.Errorf("soak client %d: dial: %w", c, err))
+				return
+			}
+			defer conn.Close()
+			for it := 0; it < soakIters; it++ {
+				qi := (c + it) % len(suite)
+				var rows *client.Rows
+				var err error
+				for attempt := 0; ; attempt++ {
+					rows, err = conn.Query(ctx, suite[qi].SQL)
+					var se *client.ServerError
+					if err != nil && errors.As(err, &se) && se.Code == client.CodeBusy && attempt < 1000 {
+						// Fast-rejected: admission control shedding load as
+						// designed. Back off (harder as contention persists,
+						// staggered by client) and retry.
+						mu.Lock()
+						busyCount++
+						mu.Unlock()
+						backoff := time.Duration(5+attempt) * time.Millisecond
+						if max := time.Duration(50+c) * time.Millisecond; backoff > max {
+							backoff = max
+						}
+						time.Sleep(backoff)
+						continue
+					}
+					break
+				}
+				if err != nil {
+					fail(fmt.Errorf("soak client %d: %s: %w", c, suite[qi].Name, err))
+					return
+				}
+				var got [][]any
+				for {
+					row, ok, err := rows.Next()
+					if err != nil {
+						fail(fmt.Errorf("soak client %d: %s: stream: %w", c, suite[qi].Name, err))
+						return
+					}
+					if !ok {
+						break
+					}
+					got = append(got, row)
+				}
+				if err := diffRows(refs[qi].cols, refs[qi].rows, rows.Columns, got); err != nil {
+					fail(fmt.Errorf("soak client %d: %s: %w", c, suite[qi].Name, err))
+					return
+				}
+				mu.Lock()
+				okCount++
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	if firstError != nil {
+		return firstError
+	}
+	fmt.Printf("soak: PASS — %d statements verified, %d busy-rejected, %v wall\n",
+		okCount, busyCount, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// diffRows compares two result sets exactly: same columns, same row
+// count, same typed values in the same order.
+func diffRows(lcols []string, lrows [][]any, rcols []string, rrows [][]any) error {
+	if strings.Join(lcols, ",") != strings.Join(rcols, ",") {
+		return fmt.Errorf("columns differ: local %v, remote %v", lcols, rcols)
+	}
+	if len(lrows) != len(rrows) {
+		return fmt.Errorf("row counts differ: local %d, remote %d", len(lrows), len(rrows))
+	}
+	for i := range lrows {
+		if len(lrows[i]) != len(rrows[i]) {
+			return fmt.Errorf("row %d: widths differ", i)
+		}
+		for j := range lrows[i] {
+			if lrows[i][j] != rrows[i][j] {
+				return fmt.Errorf("row %d col %d: local %#v, remote %#v", i, j, lrows[i][j], rrows[i][j])
+			}
+		}
+	}
+	return nil
+}

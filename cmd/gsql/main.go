@@ -20,6 +20,9 @@
 //	gsql -sf 0               # starts with an empty catalog
 //	gsql -stats              # print executor statistics after each statement
 //	gsql -slowlog 100ms      # print EXPLAIN ANALYZE for statements slower than this
+//	gsql -connect host:7744  # run statements against a gapplyd server
+//	                         # instead of an embedded database; \timeout and
+//	                         # \set adjust the server-side session options
 package main
 
 import (
@@ -36,6 +39,7 @@ import (
 	"unicode/utf8"
 
 	"gapplydb"
+	"gapplydb/client"
 	"gapplydb/internal/sql"
 )
 
@@ -43,22 +47,35 @@ func main() {
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor to preload (0 = empty database)")
 	stats := flag.Bool("stats", false, "print executor statistics after each statement")
 	slowlog := flag.Duration("slowlog", 0, "print EXPLAIN ANALYZE for statements slower than this (0 = off)")
+	connect := flag.String("connect", "", "connect to a gapplyd server at host:port instead of embedding a database")
 	flag.Parse()
 
-	var db *gapplydb.Database
-	if *sf > 0 {
-		var err error
-		fmt.Printf("loading TPC-H at scale factor %g...\n", *sf)
-		db, err = gapplydb.OpenTPCH(*sf)
+	var sh *shell
+	if *connect != "" {
+		conn, err := client.Dial(*connect)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gsql:", err)
 			os.Exit(1)
 		}
+		defer conn.Close()
+		sh = &shell{remote: conn, stats: *stats}
+		fmt.Printf("gsql — connected to %s (%s). \\q quits; end statements with ';'.\n", *connect, conn.Banner())
 	} else {
-		db = gapplydb.Open()
+		var db *gapplydb.Database
+		if *sf > 0 {
+			var err error
+			fmt.Printf("loading TPC-H at scale factor %g...\n", *sf)
+			db, err = gapplydb.OpenTPCH(*sf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gsql:", err)
+				os.Exit(1)
+			}
+		} else {
+			db = gapplydb.Open()
+		}
+		sh = &shell{db: db, stats: *stats, slowlog: *slowlog}
+		fmt.Println(`gsql — GApply SQL shell. \dt lists tables, \metrics dumps metrics, \q quits; end statements with ';'.`)
 	}
-	sh := &shell{db: db, stats: *stats, slowlog: *slowlog}
-	fmt.Println(`gsql — GApply SQL shell. \dt lists tables, \metrics dumps metrics, \q quits; end statements with ';'.`)
 
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
@@ -91,9 +108,11 @@ func main() {
 	}
 }
 
-// shell holds the session state the statement loop needs.
+// shell holds the session state the statement loop needs. Exactly one
+// of db (embedded) and remote (gapplyd connection) is set.
 type shell struct {
 	db      *gapplydb.Database
+	remote  *client.Conn
 	stats   bool
 	slowlog time.Duration
 	timeout time.Duration // per-statement wall-clock limit; 0 = none
@@ -102,6 +121,9 @@ type shell struct {
 // meta handles a backslash command (or bare quit/exit/blank line);
 // it returns false when the shell should terminate.
 func (s *shell) meta(cmd string, w io.Writer) bool {
+	if s.remote != nil {
+		return s.metaRemote(cmd, w)
+	}
 	switch {
 	case cmd == `\q` || cmd == "quit" || cmd == "exit":
 		return false
@@ -153,6 +175,10 @@ func (s *shell) meta(cmd string, w io.Writer) bool {
 // that carries the session's \timeout, when one is set.
 func (s *shell) run(stmt string, w io.Writer) {
 	query := strings.TrimSuffix(strings.TrimSpace(stmt), ";")
+	if s.remote != nil {
+		s.runRemote(query, w)
+		return
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	var opts []gapplydb.QueryOption

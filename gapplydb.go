@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -54,11 +55,29 @@ type Database struct {
 	// statistics may no longer be the ones the optimizer would pick, so
 	// the plan-cache key includes the epoch.
 	statsEpoch atomic.Uint64
+
+	// Lifecycle: closeMu guards the closed flag against racing query
+	// admissions; closeCtx is the root every execution's context is
+	// derived from, so Close can cancel all in-flight work; inflight
+	// counts admitted executions (queries and open streams) that Close
+	// must drain.
+	closeMu     sync.RWMutex
+	closed      bool
+	closeCtx    context.Context
+	closeCancel context.CancelFunc
+	inflight    sync.WaitGroup
+}
+
+// newDatabase wires the pieces every constructor shares.
+func newDatabase() *Database {
+	db := &Database{cat: storage.NewCatalog(), reg: metrics.NewRegistry(), plans: newPlanCache()}
+	db.closeCtx, db.closeCancel = context.WithCancel(context.Background())
+	return db
 }
 
 // Open creates an empty database.
 func Open() *Database {
-	db := &Database{cat: storage.NewCatalog(), reg: metrics.NewRegistry(), plans: newPlanCache()}
+	db := newDatabase()
 	db.RefreshStats()
 	return db
 }
@@ -67,12 +86,65 @@ func Open() *Database {
 // the given scale factor (1.0 ≈ the paper's schema at full row counts;
 // 0.01 is comfortable for a laptop).
 func OpenTPCH(scaleFactor float64) (*Database, error) {
-	db := &Database{cat: storage.NewCatalog(), reg: metrics.NewRegistry(), plans: newPlanCache()}
+	db := newDatabase()
 	if err := tpch.Load(db.cat, scaleFactor); err != nil {
 		return nil, err
 	}
 	db.RefreshStats()
 	return db, nil
+}
+
+// ErrDatabaseClosed is returned by every query entry point after Close.
+var ErrDatabaseClosed = errors.New("gapplydb: database is closed")
+
+// Close shuts the database down: new queries are rejected with
+// ErrDatabaseClosed, in-flight queries and open streams are cancelled
+// through their execution contexts, and Close blocks until all of them
+// have unwound. The statement plan cache is invalidated so a later
+// reopening of the same catalog cannot observe stale plans. Close is
+// idempotent; concurrent calls all block until teardown completes.
+//
+// The network server calls this as the last step of its shutdown
+// sequence; embedded callers get deterministic teardown for free.
+func (db *Database) Close() error {
+	db.closeMu.Lock()
+	already := db.closed
+	db.closed = true
+	db.closeMu.Unlock()
+	if !already {
+		db.closeCancel()
+	}
+	db.inflight.Wait()
+	db.plans.clear()
+	return nil
+}
+
+// acquire admits one execution against the database lifecycle: it fails
+// once Close has begun, and otherwise registers the execution so Close
+// drains it. The returned release is idempotent.
+func (db *Database) acquire() (release func(), err error) {
+	db.closeMu.RLock()
+	if db.closed {
+		db.closeMu.RUnlock()
+		return nil, ErrDatabaseClosed
+	}
+	db.inflight.Add(1)
+	db.closeMu.RUnlock()
+	var once sync.Once
+	return func() { once.Do(db.inflight.Done) }, nil
+}
+
+// lifecycleContext derives the execution context every query runs
+// under: the caller's ctx, additionally cancelled when the database
+// closes. The returned stop releases the linkage and must always be
+// called.
+func (db *Database) lifecycleContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	unlink := context.AfterFunc(db.closeCtx, cancel)
+	return ctx, func() { unlink(); cancel() }
 }
 
 // InvalidatePlanCache drops every cached statement plan. Schema changes
@@ -401,6 +473,11 @@ func (db *Database) Query(query string, options ...QueryOption) (*Result, error)
 // row batch, returning context.Canceled or context.DeadlineExceeded.
 // Any Budget timeout set via options composes with ctx's own deadline.
 func (db *Database) QueryContext(ctx context.Context, query string, options ...QueryOption) (*Result, error) {
+	release, err := db.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	cfg := makeConfig(options)
 	c, hit, err := db.compile(query, cfg)
 	if err != nil {
@@ -493,14 +570,49 @@ func (db *Database) compile(query string, cfg queryConfig) (*compiled, bool, err
 
 // execute runs an optimized plan under the caller's context and budget.
 func (db *Database) execute(ctx context.Context, c *compiled, cfg queryConfig) (*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+	ctx, stop := db.lifecycleContext(ctx)
+	defer stop()
 	if cfg.budget.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.budget.Timeout)
 		defer cancel()
 	}
+	ectx := db.execContext(ctx, cfg)
+	start := time.Now()
+	res, err := exec.Run(c.plan, ectx)
+	elapsed := time.Since(start)
+	db.reg.Counter("queries").Inc()
+	db.reg.Histogram("execute_latency").Observe(elapsed)
+	if err != nil {
+		return nil, db.classifyExecError(err)
+	}
+	db.recordExecMetrics(ectx.Counters)
+
+	out := &Result{
+		Columns: make([]string, res.Schema.Len()),
+		Rows:    make([][]any, len(res.Rows)),
+		Elapsed: elapsed,
+		Stats:   statsOf(ectx.Counters),
+		Trace:   toTrace(c.trace),
+		inner:   res,
+		prof:    ectx.Prof,
+	}
+	for i, c := range res.Schema.Cols {
+		out.Columns[i] = c.QualifiedName()
+	}
+	for i, row := range res.Rows {
+		vals := make([]any, len(row))
+		for j, v := range row {
+			vals[j] = toGo(v)
+		}
+		out.Rows[i] = vals
+	}
+	return out, nil
+}
+
+// execContext builds the executor context one configured query runs
+// under (shared by the materializing and streaming paths).
+func (db *Database) execContext(ctx context.Context, cfg queryConfig) *exec.Context {
 	ectx := exec.NewContext(db.cat)
 	ectx.DOP = cfg.dop
 	ectx.Ctx = ctx
@@ -517,48 +629,24 @@ func (db *Database) execute(ctx context.Context, c *compiled, cfg queryConfig) (
 			MaxPartitionBytes: cfg.budget.MaxPartitionBytes,
 		}
 	}
-	start := time.Now()
-	res, err := exec.Run(c.plan, ectx)
-	elapsed := time.Since(start)
-	db.reg.Counter("queries").Inc()
-	db.reg.Histogram("execute_latency").Observe(elapsed)
-	if err != nil {
-		return nil, db.classifyExecError(err)
-	}
-	db.recordExecMetrics(ectx.Counters)
+	return ectx
+}
 
-	out := &Result{
-		Columns: make([]string, res.Schema.Len()),
-		Rows:    make([][]any, len(res.Rows)),
-		Elapsed: elapsed,
-		Stats: ExecStats{
-			RowsScanned:        ectx.Counters.RowsScanned,
-			Groups:             ectx.Counters.Groups,
-			InnerExecs:         ectx.Counters.InnerExecs,
-			SerialGroupExecs:   ectx.Counters.SerialGroupExecs,
-			ParallelGroupExecs: ectx.Counters.ParallelGroupExecs,
-			ApplyExecs:         ectx.Counters.ApplyExecs,
-			ApplyCacheHits:     ectx.Counters.ApplyCacheHits,
-			JoinProbes:         ectx.Counters.JoinProbes,
-			SpoolBuilds:        ectx.Counters.SpoolBuilds,
-			SpoolHits:          ectx.Counters.SpoolHits,
-			PlanCacheHits:      ectx.Counters.PlanCacheHits,
-		},
-		Trace: toTrace(c.trace),
-		inner: res,
-		prof:  ectx.Prof,
+// statsOf mirrors the executor's counters into the public ExecStats.
+func statsOf(c exec.Counters) ExecStats {
+	return ExecStats{
+		RowsScanned:        c.RowsScanned,
+		Groups:             c.Groups,
+		InnerExecs:         c.InnerExecs,
+		SerialGroupExecs:   c.SerialGroupExecs,
+		ParallelGroupExecs: c.ParallelGroupExecs,
+		ApplyExecs:         c.ApplyExecs,
+		ApplyCacheHits:     c.ApplyCacheHits,
+		JoinProbes:         c.JoinProbes,
+		SpoolBuilds:        c.SpoolBuilds,
+		SpoolHits:          c.SpoolHits,
+		PlanCacheHits:      c.PlanCacheHits,
 	}
-	for i, c := range res.Schema.Cols {
-		out.Columns[i] = c.QualifiedName()
-	}
-	for i, row := range res.Rows {
-		vals := make([]any, len(row))
-		for j, v := range row {
-			vals[j] = toGo(v)
-		}
-		out.Rows[i] = vals
-	}
-	return out, nil
 }
 
 // classifyExecError folds a failed execution into the metrics taxonomy

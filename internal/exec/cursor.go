@@ -1,0 +1,94 @@
+package exec
+
+import (
+	"gapplydb/internal/core"
+	"gapplydb/internal/schema"
+	"gapplydb/internal/types"
+)
+
+// Cursor is an incrementally consumed execution of a plan: Run without
+// the materialization. Each Next produces one output row, polling the
+// Context's cancellation signal and charging the output-row budget
+// exactly as Run does, so a caller draining a Cursor to completion sees
+// the same rows, the same errors and the same counters as Run — the
+// network server streams results through one of these so a large result
+// never exists in full on the server side.
+//
+// A Cursor, like the iterator tree it drives, belongs to a single
+// goroutine. Close is idempotent and must be called even after an error
+// (Next errors leave the tree closed already; the extra Close is a
+// no-op).
+type Cursor struct {
+	Schema *schema.Schema
+
+	node   core.Node
+	it     Iterator
+	ctx    *Context
+	n      int64
+	closed bool
+}
+
+// Start compiles the plan and opens the iterator tree, returning a
+// cursor positioned before the first row.
+func Start(n core.Node, ctx *Context) (*Cursor, error) {
+	it, err := Build(n, ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := it.Open(); err != nil {
+		it.Close()
+		return nil, err
+	}
+	return &Cursor{Schema: n.Schema(), node: n, it: it, ctx: ctx}, nil
+}
+
+// Next returns the next output row. ok=false with a nil error marks
+// normal exhaustion; any error (cancellation, deadline, budget, operator
+// failure) closes the tree and is final.
+func (c *Cursor) Next() (types.Row, bool, error) {
+	if c.closed {
+		return nil, false, nil
+	}
+	if err := c.ctx.tick(); err != nil {
+		c.close()
+		return nil, false, err
+	}
+	r, ok, err := c.it.Next()
+	if err != nil {
+		c.close()
+		return nil, false, err
+	}
+	if !ok {
+		// A cancel that lands after the last row still cancels the query,
+		// mirroring Run: the consumer must not mistake a raced result for
+		// a committed success.
+		err := c.close()
+		if cerr := c.ctx.checkCancel(); cerr != nil {
+			err = cerr
+		}
+		return nil, false, err
+	}
+	c.n++
+	if b := c.ctx.Budget; b != nil && b.MaxOutputRows > 0 && c.n > b.MaxOutputRows {
+		c.close()
+		return nil, false, &ResourceError{
+			Limit: LimitOutputRows, Operator: core.Summary(c.node),
+			Max: b.MaxOutputRows, Used: c.n,
+		}
+	}
+	return r, true, nil
+}
+
+// Rows reports how many rows the cursor has produced so far.
+func (c *Cursor) Rows() int64 { return c.n }
+
+// Close releases the iterator tree. Safe to call more than once.
+func (c *Cursor) Close() error { return c.close() }
+
+func (c *Cursor) close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.it.Close()
+}

@@ -10,8 +10,10 @@
 package metrics
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
+	"net/http"
 	"sort"
 	"strings"
 	"sync"
@@ -224,6 +226,27 @@ func (s Snapshot) String() string {
 	return b.String()
 }
 
+// Handler exposes one registry over HTTP as a JSON snapshot (recomputed
+// per request) — the instance-scoped alternative to Publish. Unlike the
+// expvar path there is no process-global name table: each registry gets
+// its own handler on whatever mux the caller owns, so parallel server
+// tests (and multiple servers in one process) never share or collide on
+// counters. Append "?format=text" for the \metrics text rendering.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s := r.Snapshot()
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, s.String())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s)
+	})
+}
+
 var (
 	publishMu  sync.Mutex
 	publishSet = map[string]bool{}
@@ -233,6 +256,11 @@ var (
 // snapshot (recomputed per read). Publishing the same name twice is a
 // no-op rather than the panic expvar.Publish would raise, so callers can
 // publish unconditionally at startup.
+//
+// Prefer Handler for new code: expvar's name table is process-global, so
+// two databases published under one name silently alias (the first
+// wins), which is exactly the cross-test leakage an instance-scoped
+// handler avoids.
 func Publish(name string, r *Registry) {
 	publishMu.Lock()
 	defer publishMu.Unlock()

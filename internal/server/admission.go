@@ -1,0 +1,74 @@
+// Package server is gapplyd's network front end: a TCP server speaking
+// the internal/wire protocol, with per-connection sessions, bounded
+// admission of concurrent queries, incremental result streaming through
+// the engine's Stream API, and graceful drain-then-close shutdown built
+// on the context machinery the resource-governance layer added.
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"gapplydb/internal/metrics"
+)
+
+// errBusy is the admission layer's fast rejection: the wait queue is at
+// capacity, so the query is refused immediately instead of piling more
+// latency onto an already saturated server.
+var errBusy = errors.New("server: admission queue full")
+
+// admission bounds concurrent query execution. It is a semaphore of
+// MaxConcurrent slots fronted by a counted wait queue of MaxQueued
+// entries: a query takes a free slot immediately if one exists, waits
+// in the queue otherwise, and is fast-rejected with errBusy when the
+// queue itself is full — the three states (running, queued, rejected)
+// the server_* metrics expose.
+type admission struct {
+	slots    chan struct{}
+	maxQueue int64
+	queued   atomic.Int64
+	reg      *metrics.Registry
+}
+
+func newAdmission(maxConcurrent, maxQueued int, reg *metrics.Registry) *admission {
+	return &admission{
+		slots:    make(chan struct{}, maxConcurrent),
+		maxQueue: int64(maxQueued),
+		reg:      reg,
+	}
+}
+
+// acquire claims an execution slot, waiting in the bounded queue if
+// none is free. It fails with errBusy when the queue is full and with
+// the context's cause when the caller's query is cancelled while
+// queued. Every successful acquire must be paired with release.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	// No free slot: join the wait queue if it has room.
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		a.reg.Counter("server_queries_rejected").Inc()
+		return errBusy
+	}
+	a.reg.Counter("server_queries_queued").Inc()
+	start := time.Now()
+	defer func() {
+		a.queued.Add(-1)
+		a.reg.Histogram("server_admission_wait").Observe(time.Since(start))
+	}()
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+// release frees a slot claimed by acquire.
+func (a *admission) release() { <-a.slots }

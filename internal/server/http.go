@@ -1,0 +1,45 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"gapplydb/internal/metrics"
+)
+
+// HTTPHandler returns the server's observability surface, mounted on
+// whatever mux/listener the caller owns (gapplyd's -http flag starts a
+// plain http.Server with it):
+//
+//	/healthz     200 "ok" while serving, 503 "draining" during shutdown
+//	/metrics     the server_* registry as JSON (?format=text for the
+//	             \metrics text rendering) — instance-scoped, no expvar
+//	/metrics/db  the underlying database's lifetime metrics snapshot
+//
+// Nothing here touches process-global state, so any number of servers
+// (or parallel tests) can each expose their own handler.
+func (s *Server) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("/metrics", metrics.Handler(s.reg))
+	mux.HandleFunc("/metrics/db", func(w http.ResponseWriter, r *http.Request) {
+		snap := s.db.Metrics()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, snap.String())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+	})
+	return mux
+}

@@ -1,0 +1,537 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gapplydb"
+	"gapplydb/internal/wire"
+	"gapplydb/xmlpub"
+)
+
+// sessionOptions are the session-scoped execution defaults a client
+// sets with TypeSet frames; a query's own options override them field
+// by field.
+type sessionOptions struct {
+	timeout           time.Duration
+	maxOutputRows     int64
+	maxPartitionBytes int64
+	dop               int
+	explain           string // "", "plan", "analyze"
+}
+
+// session is one client connection: a read loop dispatching frames,
+// any number of concurrently running query goroutines streaming
+// results back through a write mutex, and the per-session half of
+// admission control (the in-flight cap).
+type session struct {
+	srv  *Server
+	conn net.Conn
+	br   *bufio.Reader
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	ctx    context.Context // session root; cancel tears down every query
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	opts     sessionOptions
+	inflight map[uint64]context.CancelFunc
+	wgQ      sync.WaitGroup
+	draining bool
+}
+
+func newSession(s *Server, conn net.Conn) *session {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &session{
+		srv: s, conn: conn,
+		br: bufio.NewReaderSize(conn, 64<<10),
+		bw: bufio.NewWriterSize(conn, 64<<10),
+
+		ctx: ctx, cancel: cancel,
+		inflight: make(map[uint64]context.CancelFunc),
+	}
+}
+
+// writeFrame serializes one frame to the connection. Frames from
+// concurrent query goroutines interleave whole — never byte-mixed —
+// because the mutex covers the write+flush pair.
+func (s *session) writeFrame(t wire.Type, payload []byte) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if err := wire.WriteFrame(s.bw, t, payload); err != nil {
+		return err
+	}
+	return s.bw.Flush()
+}
+
+func (s *session) writeError(id uint64, code, msg string) error {
+	m := wire.ErrorMsg{ID: id, Code: code, Message: msg}
+	return s.writeFrame(wire.TypeError, m.Encode())
+}
+
+// serve runs the session to completion: handshake, then the dispatch
+// loop until the client hangs up, a protocol violation poisons the
+// stream, or shutdown closes the connection. Teardown cancels every
+// in-flight query (the mid-stream-disconnect contract: the engine
+// unwinds within one row batch and the admission slots come back).
+func (s *session) serve() {
+	defer func() {
+		s.cancel()   // cancel in-flight queries
+		s.wgQ.Wait() // wait for their goroutines to release slots
+		s.conn.Close()
+		s.srv.removeSession(s)
+	}()
+	if err := s.handshake(); err != nil {
+		s.srv.logf("session %s: handshake: %v", s.conn.RemoteAddr(), err)
+		return
+	}
+	for {
+		t, payload, err := wire.ReadFrame(s.br, s.srv.cfg.MaxFrame)
+		if err != nil {
+			if errors.Is(err, wire.ErrFrameTooLarge) {
+				// The stream position is unrecoverable past an oversized
+				// header: report and hang up.
+				s.writeError(0, wire.CodeProtocol, err.Error())
+			}
+			return
+		}
+		if err := s.dispatch(t, payload); err != nil {
+			s.srv.logf("session %s: %v", s.conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+// handshake expects the client's Hello within the configured deadline
+// and answers with Welcome.
+func (s *session) handshake() error {
+	s.conn.SetReadDeadline(time.Now().Add(s.srv.cfg.HandshakeTimeout))
+	defer s.conn.SetReadDeadline(time.Time{})
+	t, payload, err := wire.ReadFrame(s.br, s.srv.cfg.MaxFrame)
+	if err != nil {
+		return err
+	}
+	if t != wire.TypeHello {
+		s.writeError(0, wire.CodeProtocol, "expected hello")
+		return fmt.Errorf("expected hello, got %v", t)
+	}
+	version, err := wire.DecodeHello(payload)
+	if err != nil {
+		s.writeError(0, wire.CodeProtocol, err.Error())
+		return err
+	}
+	if version != wire.ProtocolVersion {
+		s.writeError(0, wire.CodeProtocol,
+			fmt.Sprintf("protocol version %d unsupported (want %d)", version, wire.ProtocolVersion))
+		return fmt.Errorf("version mismatch: %d", version)
+	}
+	return s.writeFrame(wire.TypeWelcome, wire.EncodeWelcome(s.srv.cfg.Banner))
+}
+
+// dispatch routes one frame. A returned error poisons the session.
+func (s *session) dispatch(t wire.Type, payload []byte) error {
+	switch t {
+	case wire.TypeQuery:
+		m, err := wire.DecodeQuery(payload)
+		if err != nil {
+			return err
+		}
+		s.startQuery(m)
+		return nil
+	case wire.TypeCancel:
+		id, err := wire.DecodeID(payload)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		cancel := s.inflight[id]
+		s.mu.Unlock()
+		if cancel != nil {
+			s.srv.reg.Counter("server_cancels").Inc()
+			cancel()
+		}
+		return nil
+	case wire.TypePing:
+		id, err := wire.DecodeID(payload)
+		if err != nil {
+			return err
+		}
+		return s.writeFrame(wire.TypePong, wire.EncodeID(id))
+	case wire.TypeSet:
+		m, err := wire.DecodeSet(payload)
+		if err != nil {
+			return err
+		}
+		if err := s.setOption(m.Name, m.Value); err != nil {
+			return s.writeError(m.ID, wire.CodeProtocol, err.Error())
+		}
+		return s.writeFrame(wire.TypeOK, wire.EncodeID(m.ID))
+	default:
+		return fmt.Errorf("unexpected frame %v", t)
+	}
+}
+
+// setOption applies one session-scoped default.
+func (s *session) setOption(name, value string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch strings.ToLower(name) {
+	case "timeout":
+		if value == "off" || value == "0" {
+			s.opts.timeout = 0
+			return nil
+		}
+		d, err := time.ParseDuration(value)
+		if err != nil || d < 0 {
+			return fmt.Errorf("bad timeout %q", value)
+		}
+		s.opts.timeout = d
+	case "max_output_rows":
+		n, err := strconv.ParseInt(value, 10, 64)
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad max_output_rows %q", value)
+		}
+		s.opts.maxOutputRows = n
+	case "max_partition_bytes":
+		n, err := strconv.ParseInt(value, 10, 64)
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad max_partition_bytes %q", value)
+		}
+		s.opts.maxPartitionBytes = n
+	case "dop":
+		n, err := strconv.Atoi(value)
+		if err != nil {
+			return fmt.Errorf("bad dop %q", value)
+		}
+		s.opts.dop = n
+	case "explain":
+		switch strings.ToLower(value) {
+		case "off", "":
+			s.opts.explain = ""
+		case "plan":
+			s.opts.explain = "plan"
+		case "analyze":
+			s.opts.explain = "analyze"
+		default:
+			return fmt.Errorf("bad explain mode %q (off|plan|analyze)", value)
+		}
+	default:
+		return fmt.Errorf("unknown session option %q", name)
+	}
+	return nil
+}
+
+// startQuery admits one query submission at the session level (drain
+// gate, per-session in-flight cap) and spawns its goroutine.
+func (s *session) startQuery(m *wire.QueryMsg) {
+	s.srv.reg.Counter("server_queries").Inc()
+	if s.srv.draining.Load() || s.sessionDraining() {
+		s.srv.reg.Counter("server_queries_rejected").Inc()
+		s.writeError(m.ID, wire.CodeShutdown, "server is shutting down")
+		return
+	}
+	qctx, cancel := context.WithCancel(s.ctx)
+	s.mu.Lock()
+	if len(s.inflight) >= s.srv.cfg.SessionInFlight {
+		s.mu.Unlock()
+		cancel()
+		s.srv.reg.Counter("server_queries_rejected").Inc()
+		s.writeError(m.ID, wire.CodeSession,
+			fmt.Sprintf("session in-flight limit (%d) reached", s.srv.cfg.SessionInFlight))
+		return
+	}
+	if _, dup := s.inflight[m.ID]; dup {
+		s.mu.Unlock()
+		cancel()
+		s.writeError(m.ID, wire.CodeProtocol, "query id already in flight")
+		return
+	}
+	s.inflight[m.ID] = cancel
+	s.wgQ.Add(1)
+	s.mu.Unlock()
+
+	go func() {
+		defer func() {
+			s.mu.Lock()
+			delete(s.inflight, m.ID)
+			s.mu.Unlock()
+			cancel()
+			s.wgQ.Done()
+		}()
+		s.runQuery(qctx, m)
+	}()
+}
+
+func (s *session) sessionDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// drain flips the session to reject new queries, waits for the
+// in-flight ones to finish streaming, and hangs up — the graceful half
+// of Shutdown.
+func (s *session) drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.wgQ.Wait()
+	s.conn.Close() // unblocks the read loop; serve() finishes teardown
+}
+
+// effectiveOptions folds session defaults under the query's own
+// options and renders them as engine QueryOptions plus the effective
+// statement text (the session explain mode may prefix it).
+func (s *session) effectiveOptions(m *wire.QueryMsg) (string, []gapplydb.QueryOption) {
+	s.mu.Lock()
+	so := s.opts
+	s.mu.Unlock()
+
+	timeout := so.timeout
+	if m.Opts.Timeout > 0 {
+		timeout = m.Opts.Timeout
+	}
+	maxRows := so.maxOutputRows
+	if m.Opts.MaxOutputRows > 0 {
+		maxRows = m.Opts.MaxOutputRows
+	}
+	maxBytes := so.maxPartitionBytes
+	if m.Opts.MaxPartitionBytes > 0 {
+		maxBytes = m.Opts.MaxPartitionBytes
+	}
+	dop := so.dop
+	switch {
+	case m.Opts.DOP > 0:
+		dop = int(m.Opts.DOP)
+	case m.Opts.DOP < 0: // explicit engine default, overriding session dop
+		dop = 0
+	}
+
+	var opts []gapplydb.QueryOption
+	if timeout > 0 || maxRows > 0 || maxBytes > 0 {
+		opts = append(opts, gapplydb.WithBudget(gapplydb.Budget{
+			Timeout: timeout, MaxOutputRows: maxRows, MaxPartitionBytes: maxBytes,
+		}))
+	}
+	if dop != 0 {
+		opts = append(opts, gapplydb.WithDOP(dop))
+	}
+
+	query := m.SQL
+	if so.explain != "" && !hasExplainPrefix(query) {
+		if so.explain == "analyze" {
+			query = "explain analyze " + query
+		} else {
+			query = "explain " + query
+		}
+	}
+	return query, opts
+}
+
+func hasExplainPrefix(q string) bool {
+	return strings.HasPrefix(strings.ToLower(strings.TrimSpace(q)), "explain")
+}
+
+// Streaming shape: batches flush at either bound, so small results
+// arrive in one frame and large ones never materialize server-side.
+const (
+	batchMaxRows  = 256
+	batchMaxBytes = 128 << 10
+	xmlChunkBytes = 32 << 10
+)
+
+// runQuery executes one admitted submission end to end: global
+// admission, engine stream, row-batch or XML streaming, completion or
+// error frame. It owns the query's admission slot.
+func (s *session) runQuery(ctx context.Context, m *wire.QueryMsg) {
+	if err := s.srv.adm.acquire(ctx); err != nil {
+		switch {
+		case errors.Is(err, errBusy):
+			s.writeError(m.ID, wire.CodeBusy, "too many concurrent queries; retry later")
+		case errors.Is(err, context.Canceled):
+			s.writeError(m.ID, wire.CodeCancelled, "cancelled while queued")
+		default:
+			s.writeError(m.ID, errorCode(err), err.Error())
+		}
+		return
+	}
+	defer s.srv.adm.release()
+	s.srv.reg.Counter("server_queries_active").Inc()
+	defer s.srv.reg.Counter("server_queries_active").Add(-1)
+
+	query, opts := s.effectiveOptions(m)
+	stream, err := s.srv.db.StreamContext(ctx, query, opts...)
+	if err != nil {
+		s.srv.reg.Counter("server_query_errors").Inc()
+		s.writeError(m.ID, errorCode(err), err.Error())
+		return
+	}
+	defer stream.Close()
+
+	if m.Opts.XML {
+		s.streamXML(m.ID, stream, m.Opts.TagPlan)
+		return
+	}
+	s.streamRows(m.ID, stream)
+}
+
+// streamRows sends the header, then row batches, then End (or Error).
+func (s *session) streamRows(id uint64, stream *gapplydb.Stream) {
+	h := wire.RowHeaderMsg{ID: id, Columns: stream.Columns}
+	if err := s.writeFrame(wire.TypeRowHeader, h.Encode()); err != nil {
+		return // connection gone; teardown cancels the stream
+	}
+	ncols := len(stream.Columns)
+	var (
+		batch      [][]any
+		batchBytes int
+		total      int64
+	)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		payload, err := wire.EncodeRowBatch(id, ncols, batch)
+		if err != nil {
+			return err
+		}
+		if err := s.writeFrame(wire.TypeRowBatch, payload); err != nil {
+			return err
+		}
+		s.srv.reg.Counter("server_rows_streamed").Add(int64(len(batch)))
+		s.srv.reg.Counter("server_bytes_streamed").Add(int64(len(payload)))
+		batch = batch[:0]
+		batchBytes = 0
+		return nil
+	}
+	for {
+		row, ok, err := stream.Next()
+		if err != nil {
+			s.srv.reg.Counter("server_query_errors").Inc()
+			s.writeError(id, errorCode(err), err.Error())
+			return
+		}
+		if !ok {
+			break
+		}
+		batch = append(batch, row)
+		batchBytes += rowSize(row)
+		total++
+		if len(batch) >= batchMaxRows || batchBytes >= batchMaxBytes {
+			if err := flush(); err != nil {
+				return
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return
+	}
+	end := wire.EndMsg{ID: id, Rows: total, Elapsed: stream.Elapsed(), Stats: statPairs(stream.Stats())}
+	s.writeFrame(wire.TypeEnd, end.Encode())
+}
+
+// streamXML pipes the result through the constant-space tagger into
+// XMLChunk frames — the whole document never exists server-side.
+func (s *session) streamXML(id uint64, stream *gapplydb.Stream, planJSON []byte) {
+	var plan xmlpub.TagPlan
+	if err := json.Unmarshal(planJSON, &plan); err != nil {
+		s.writeError(id, wire.CodeProtocol, "bad tag plan: "+err.Error())
+		return
+	}
+	cw := &chunkWriter{sess: s, id: id}
+	tagger := xmlpub.NewTagger(&plan, cw)
+	for {
+		row, ok, err := stream.Next()
+		if err != nil {
+			s.srv.reg.Counter("server_query_errors").Inc()
+			s.writeError(id, errorCode(err), err.Error())
+			return
+		}
+		if !ok {
+			break
+		}
+		if err := tagger.Row(row); err != nil {
+			if cw.err != nil {
+				return // connection gone
+			}
+			s.writeError(id, wire.CodeInternal, err.Error())
+			return
+		}
+	}
+	if err := tagger.Close(); err != nil {
+		if cw.err == nil {
+			s.writeError(id, wire.CodeInternal, err.Error())
+		}
+		return
+	}
+	if err := cw.flush(); err != nil {
+		return
+	}
+	end := wire.EndMsg{ID: id, Rows: cw.written, Elapsed: stream.Elapsed(), Stats: statPairs(stream.Stats())}
+	s.writeFrame(wire.TypeEnd, end.Encode())
+}
+
+// chunkWriter buffers tagger output and emits XMLChunk frames at the
+// chunk threshold. written counts document bytes (not frame overhead).
+type chunkWriter struct {
+	sess    *session
+	id      uint64
+	buf     []byte
+	written int64
+	err     error
+}
+
+func (c *chunkWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	c.buf = append(c.buf, p...)
+	if len(c.buf) >= xmlChunkBytes {
+		if err := c.flush(); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+func (c *chunkWriter) flush() error {
+	if c.err != nil {
+		return c.err
+	}
+	if len(c.buf) == 0 {
+		return nil
+	}
+	payload := wire.EncodeChunk(c.id, c.buf)
+	if err := c.sess.writeFrame(wire.TypeXMLChunk, payload); err != nil {
+		c.err = err
+		return err
+	}
+	c.sess.srv.reg.Counter("server_bytes_streamed").Add(int64(len(c.buf)))
+	c.written += int64(len(c.buf))
+	c.buf = c.buf[:0]
+	return nil
+}
+
+// rowSize approximates one row's encoded size for batch flushing.
+func rowSize(row []any) int {
+	n := 0
+	for _, v := range row {
+		switch x := v.(type) {
+		case string:
+			n += 5 + len(x)
+		default:
+			n += 9
+		}
+	}
+	return n
+}

@@ -1,0 +1,588 @@
+// Package wire is gapplyd's binary protocol: length-prefixed frames
+// carrying a small fixed message set — handshake, query submission,
+// row-batch and XML-chunk streams, completion with statistics, errors,
+// cancellation, session options and pings.
+//
+// Framing. Every frame is
+//
+//	[1 byte type][4 bytes big-endian payload length][payload]
+//
+// A reader enforces a maximum payload length and rejects anything
+// larger with ErrFrameTooLarge before allocating, so a corrupt or
+// malicious peer cannot make the other side buffer an arbitrary amount.
+//
+// Multiplexing. Every per-query message begins with the query id the
+// client assigned, so one connection carries any number of concurrent
+// queries: the server interleaves RowBatch/XMLChunk frames of different
+// queries and the client demultiplexes on the id. Handshake and session
+// messages (Hello/Welcome/Set/OK/Ping/Pong) use the same id mechanism
+// where a reply must be matched to its request.
+//
+// Values. Rows travel as tagged scalars in the exact Go representations
+// the embedded API's Result.Rows uses (nil, int64, float64, string,
+// bool), so remote results are byte-identical to in-process ones after
+// formatting.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// ProtocolVersion is bumped on any incompatible change; the handshake
+// rejects mismatches.
+const ProtocolVersion = 1
+
+// Magic opens every Hello so a server can immediately reject a peer
+// that is not speaking this protocol ("GAPD").
+const Magic = 0x47415044
+
+// DefaultMaxFrame bounds one frame's payload: large enough for any row
+// batch the server emits (batches flush far below this), small enough
+// that a corrupt length prefix cannot balloon memory.
+const DefaultMaxFrame = 4 << 20
+
+// Type identifies a frame's message.
+type Type byte
+
+const (
+	TypeInvalid   Type = iota
+	TypeHello          // client→server: magic, protocol version
+	TypeWelcome        // server→client: protocol version, server banner
+	TypeQuery          // client→server: id, SQL text, per-query options
+	TypeRowHeader      // server→client: id, column names
+	TypeRowBatch       // server→client: id, n rows of tagged values
+	TypeXMLChunk       // server→client: id, raw document bytes
+	TypeEnd            // server→client: id, elapsed, row count, stats
+	TypeError          // server→client: id, code, message
+	TypeCancel         // client→server: id of the query to cancel
+	TypePing           // client→server: id
+	TypePong           // server→client: id echoed
+	TypeSet            // client→server: id, session option name, value
+	TypeOK             // server→client: id echoed (Set accepted)
+)
+
+// String names the frame type for diagnostics.
+func (t Type) String() string {
+	names := [...]string{"invalid", "hello", "welcome", "query", "rowheader",
+		"rowbatch", "xmlchunk", "end", "error", "cancel", "ping", "pong", "set", "ok"}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return fmt.Sprintf("type(%d)", byte(t))
+}
+
+// ErrFrameTooLarge reports a frame whose declared payload exceeds the
+// reader's limit; the connection is unrecoverable after it (the stream
+// position is past a header whose payload was never read).
+var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
+const headerLen = 5
+
+// WriteFrame writes one frame. The payload may be nil (length 0).
+func WriteFrame(w io.Writer, t Type, payload []byte) error {
+	if len(payload) > math.MaxUint32 {
+		return ErrFrameTooLarge
+	}
+	var hdr [headerLen]byte
+	hdr[0] = byte(t)
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame, rejecting payloads over maxPayload bytes
+// (0 means DefaultMaxFrame) before allocating anything for them.
+func ReadFrame(r io.Reader, maxPayload int) (Type, []byte, error) {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxFrame
+	}
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return TypeInvalid, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > uint32(maxPayload) {
+		return TypeInvalid, nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, maxPayload)
+	}
+	if n == 0 {
+		return Type(hdr[0]), nil, nil
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return TypeInvalid, nil, err
+	}
+	return Type(hdr[0]), payload, nil
+}
+
+// Enc builds a payload. The zero value is ready to use; methods never
+// fail (growth is append-based).
+type Enc struct{ B []byte }
+
+// U8 appends one byte.
+func (e *Enc) U8(v byte) { e.B = append(e.B, v) }
+
+// U32 appends a big-endian uint32.
+func (e *Enc) U32(v uint32) { e.B = binary.BigEndian.AppendUint32(e.B, v) }
+
+// U64 appends a big-endian uint64.
+func (e *Enc) U64(v uint64) { e.B = binary.BigEndian.AppendUint64(e.B, v) }
+
+// I64 appends a big-endian two's-complement int64.
+func (e *Enc) I64(v int64) { e.U64(uint64(v)) }
+
+// F64 appends an IEEE-754 float64.
+func (e *Enc) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Str appends a length-prefixed string.
+func (e *Enc) Str(s string) {
+	e.U32(uint32(len(s)))
+	e.B = append(e.B, s...)
+}
+
+// Bytes appends a length-prefixed byte slice.
+func (e *Enc) Bytes(b []byte) {
+	e.U32(uint32(len(b)))
+	e.B = append(e.B, b...)
+}
+
+// ErrShortPayload reports a payload that ended before its declared
+// contents — a framing or encoding bug, never a recoverable condition.
+var ErrShortPayload = errors.New("wire: truncated payload")
+
+// Dec consumes a payload. The first decode past the end latches
+// ErrShortPayload; callers check Err once at the end of a message.
+type Dec struct {
+	B   []byte
+	off int
+	err error
+}
+
+// Err returns the first decode error.
+func (d *Dec) Err() error { return d.err }
+
+func (d *Dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.B) {
+		d.err = ErrShortPayload
+		return nil
+	}
+	b := d.B[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (d *Dec) U8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U32 reads a big-endian uint32.
+func (d *Dec) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// U64 reads a big-endian uint64.
+func (d *Dec) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// I64 reads a big-endian int64.
+func (d *Dec) I64() int64 { return int64(d.U64()) }
+
+// F64 reads an IEEE-754 float64.
+func (d *Dec) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Str reads a length-prefixed string.
+func (d *Dec) Str() string { return string(d.BytesRef()) }
+
+// BytesRef reads a length-prefixed byte slice aliasing the payload.
+func (d *Dec) BytesRef() []byte {
+	n := d.U32()
+	if d.err != nil {
+		return nil
+	}
+	return d.take(int(n))
+}
+
+// value tags.
+const (
+	tagNull  = 0
+	tagInt   = 1
+	tagFloat = 2
+	tagStr   = 3
+	tagTrue  = 4
+	tagFalse = 5
+)
+
+// PutValue appends one tagged scalar. Accepted dynamic types are
+// exactly those of Result.Rows cells: nil, int64, float64, string,
+// bool (int is accepted for convenience and travels as int64).
+func PutValue(e *Enc, v any) error {
+	switch x := v.(type) {
+	case nil:
+		e.U8(tagNull)
+	case int64:
+		e.U8(tagInt)
+		e.I64(x)
+	case int:
+		e.U8(tagInt)
+		e.I64(int64(x))
+	case float64:
+		e.U8(tagFloat)
+		e.F64(x)
+	case string:
+		e.U8(tagStr)
+		e.Str(x)
+	case bool:
+		if x {
+			e.U8(tagTrue)
+		} else {
+			e.U8(tagFalse)
+		}
+	default:
+		return fmt.Errorf("wire: unsupported value type %T", v)
+	}
+	return nil
+}
+
+// Value reads one tagged scalar.
+func (d *Dec) Value() any {
+	switch t := d.U8(); t {
+	case tagNull:
+		return nil
+	case tagInt:
+		return d.I64()
+	case tagFloat:
+		return d.F64()
+	case tagStr:
+		return d.Str()
+	case tagTrue:
+		return true
+	case tagFalse:
+		return false
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("wire: unknown value tag %d", t)
+		}
+		return nil
+	}
+}
+
+// QueryOptions are the per-query knobs a Query frame carries; zero
+// values mean "session default" (and the session's defaults in turn
+// fall back to the engine's).
+type QueryOptions struct {
+	// Timeout is the wall-clock budget (0 = session default).
+	Timeout time.Duration
+	// MaxOutputRows / MaxPartitionBytes cap the resource budget.
+	MaxOutputRows     int64
+	MaxPartitionBytes int64
+	// DOP caps GApply's parallel degree (0 = session default,
+	// -1 = engine default explicitly, overriding a session DOP).
+	DOP int32
+	// XML switches the reply from row batches to a streamed XML
+	// document tagged with TagPlan.
+	XML bool
+	// TagPlan is the JSON-encoded xmlpub.TagPlan for XML mode.
+	TagPlan []byte
+}
+
+// QueryMsg is one query submission.
+type QueryMsg struct {
+	ID   uint64
+	SQL  string
+	Opts QueryOptions
+}
+
+// Encode serializes the message as a TypeQuery payload.
+func (m *QueryMsg) Encode() []byte {
+	var e Enc
+	e.U64(m.ID)
+	e.Str(m.SQL)
+	e.I64(int64(m.Opts.Timeout))
+	e.I64(m.Opts.MaxOutputRows)
+	e.I64(m.Opts.MaxPartitionBytes)
+	e.U32(uint32(m.Opts.DOP))
+	if m.Opts.XML {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+	e.Bytes(m.Opts.TagPlan)
+	return e.B
+}
+
+// DecodeQuery parses a TypeQuery payload.
+func DecodeQuery(p []byte) (*QueryMsg, error) {
+	d := Dec{B: p}
+	m := &QueryMsg{ID: d.U64(), SQL: d.Str()}
+	m.Opts.Timeout = time.Duration(d.I64())
+	m.Opts.MaxOutputRows = d.I64()
+	m.Opts.MaxPartitionBytes = d.I64()
+	m.Opts.DOP = int32(d.U32())
+	m.Opts.XML = d.U8() == 1
+	if b := d.BytesRef(); len(b) > 0 {
+		m.Opts.TagPlan = append([]byte(nil), b...)
+	}
+	return m, d.Err()
+}
+
+// EncodeHello builds the client's opening frame payload.
+func EncodeHello() []byte {
+	var e Enc
+	e.U32(Magic)
+	e.U32(ProtocolVersion)
+	return e.B
+}
+
+// DecodeHello validates a Hello payload and returns the peer's version.
+func DecodeHello(p []byte) (uint32, error) {
+	d := Dec{B: p}
+	magic, version := d.U32(), d.U32()
+	if err := d.Err(); err != nil {
+		return 0, err
+	}
+	if magic != Magic {
+		return 0, fmt.Errorf("wire: bad magic %#x", magic)
+	}
+	return version, nil
+}
+
+// EncodeWelcome builds the server's handshake reply.
+func EncodeWelcome(banner string) []byte {
+	var e Enc
+	e.U32(ProtocolVersion)
+	e.Str(banner)
+	return e.B
+}
+
+// DecodeWelcome parses the handshake reply.
+func DecodeWelcome(p []byte) (version uint32, banner string, err error) {
+	d := Dec{B: p}
+	version, banner = d.U32(), d.Str()
+	return version, banner, d.Err()
+}
+
+// RowHeaderMsg announces a query's output columns.
+type RowHeaderMsg struct {
+	ID      uint64
+	Columns []string
+}
+
+// Encode serializes the header.
+func (m *RowHeaderMsg) Encode() []byte {
+	var e Enc
+	e.U64(m.ID)
+	e.U32(uint32(len(m.Columns)))
+	for _, c := range m.Columns {
+		e.Str(c)
+	}
+	return e.B
+}
+
+// DecodeRowHeader parses a TypeRowHeader payload.
+func DecodeRowHeader(p []byte) (*RowHeaderMsg, error) {
+	d := Dec{B: p}
+	m := &RowHeaderMsg{ID: d.U64()}
+	n := d.U32()
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		m.Columns = append(m.Columns, d.Str())
+	}
+	return m, d.Err()
+}
+
+// EncodeRowBatch serializes rows (each ncols wide) into a TypeRowBatch
+// payload.
+func EncodeRowBatch(id uint64, ncols int, rows [][]any) ([]byte, error) {
+	var e Enc
+	e.U64(id)
+	e.U32(uint32(ncols))
+	e.U32(uint32(len(rows)))
+	for _, r := range rows {
+		if len(r) != ncols {
+			return nil, fmt.Errorf("wire: row has %d columns, batch declares %d", len(r), ncols)
+		}
+		for _, v := range r {
+			if err := PutValue(&e, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return e.B, nil
+}
+
+// DecodeRowBatch parses a TypeRowBatch payload.
+func DecodeRowBatch(p []byte) (id uint64, rows [][]any, err error) {
+	d := Dec{B: p}
+	id = d.U64()
+	ncols := d.U32()
+	nrows := d.U32()
+	for i := uint32(0); i < nrows && d.Err() == nil; i++ {
+		row := make([]any, ncols)
+		for j := range row {
+			row[j] = d.Value()
+		}
+		rows = append(rows, row)
+	}
+	return id, rows, d.Err()
+}
+
+// EncodeChunk serializes an id-tagged byte chunk (XMLChunk payloads).
+func EncodeChunk(id uint64, b []byte) []byte {
+	var e Enc
+	e.U64(id)
+	e.Bytes(b)
+	return e.B
+}
+
+// DecodeChunk parses an id-tagged byte chunk.
+func DecodeChunk(p []byte) (uint64, []byte, error) {
+	d := Dec{B: p}
+	id := d.U64()
+	b := d.BytesRef()
+	if err := d.Err(); err != nil {
+		return 0, nil, err
+	}
+	return id, append([]byte(nil), b...), nil
+}
+
+// EndMsg completes a query: total rows, elapsed execution wall time,
+// and the executor's statistics as (name, value) pairs — pairs so a
+// newer server can add counters without breaking an older client.
+type EndMsg struct {
+	ID      uint64
+	Rows    int64
+	Elapsed time.Duration
+	Stats   []StatPair
+}
+
+// StatPair is one named counter in an EndMsg.
+type StatPair struct {
+	Name  string
+	Value int64
+}
+
+// Encode serializes the completion message.
+func (m *EndMsg) Encode() []byte {
+	var e Enc
+	e.U64(m.ID)
+	e.I64(m.Rows)
+	e.I64(int64(m.Elapsed))
+	e.U32(uint32(len(m.Stats)))
+	for _, s := range m.Stats {
+		e.Str(s.Name)
+		e.I64(s.Value)
+	}
+	return e.B
+}
+
+// DecodeEnd parses a TypeEnd payload.
+func DecodeEnd(p []byte) (*EndMsg, error) {
+	d := Dec{B: p}
+	m := &EndMsg{ID: d.U64(), Rows: d.I64(), Elapsed: time.Duration(d.I64())}
+	n := d.U32()
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		m.Stats = append(m.Stats, StatPair{Name: d.Str(), Value: d.I64()})
+	}
+	return m, d.Err()
+}
+
+// Error codes carried by TypeError frames. The client maps Cancelled
+// and Timeout back onto context.Canceled / context.DeadlineExceeded so
+// remote errors satisfy the same errors.Is checks as embedded ones.
+const (
+	CodeParse     = "parse"         // statement failed to parse/bind
+	CodeResource  = "resource"      // budget exceeded (ResourceError)
+	CodeCancelled = "cancelled"     // cancelled by client or teardown
+	CodeTimeout   = "timeout"       // deadline exceeded
+	CodeBusy      = "busy"          // admission queue full, fast-rejected
+	CodeShutdown  = "shutdown"      // server draining, no new queries
+	CodeSession   = "session-limit" // per-session in-flight cap reached
+	CodeProtocol  = "protocol"      // malformed frame or bad handshake
+	CodeInternal  = "internal"      // anything else
+)
+
+// ErrorMsg reports a failed query (or Set/handshake violation).
+type ErrorMsg struct {
+	ID      uint64
+	Code    string
+	Message string
+}
+
+// Encode serializes the error.
+func (m *ErrorMsg) Encode() []byte {
+	var e Enc
+	e.U64(m.ID)
+	e.Str(m.Code)
+	e.Str(m.Message)
+	return e.B
+}
+
+// DecodeError parses a TypeError payload.
+func DecodeError(p []byte) (*ErrorMsg, error) {
+	d := Dec{B: p}
+	m := &ErrorMsg{ID: d.U64(), Code: d.Str(), Message: d.Str()}
+	return m, d.Err()
+}
+
+// EncodeID serializes the single-id payloads (Cancel, Ping, Pong, OK).
+func EncodeID(id uint64) []byte {
+	var e Enc
+	e.U64(id)
+	return e.B
+}
+
+// DecodeID parses a single-id payload.
+func DecodeID(p []byte) (uint64, error) {
+	d := Dec{B: p}
+	id := d.U64()
+	return id, d.Err()
+}
+
+// SetMsg sets one session-scoped option.
+type SetMsg struct {
+	ID    uint64
+	Name  string
+	Value string
+}
+
+// Encode serializes the option update.
+func (m *SetMsg) Encode() []byte {
+	var e Enc
+	e.U64(m.ID)
+	e.Str(m.Name)
+	e.Str(m.Value)
+	return e.B
+}
+
+// DecodeSet parses a TypeSet payload.
+func DecodeSet(p []byte) (*SetMsg, error) {
+	d := Dec{B: p}
+	m := &SetMsg{ID: d.U64(), Name: d.Str(), Value: d.Str()}
+	return m, d.Err()
+}

@@ -133,6 +133,11 @@ func (e *Explanation) planResult() *Result {
 // without executing it. The query may, but need not, carry an EXPLAIN
 // prefix.
 func (db *Database) ExplainPlan(query string, options ...QueryOption) (*Explanation, error) {
+	release, err := db.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	cfg := makeConfig(options)
 	c, hit, err := db.compile(query, cfg)
 	if err != nil {
@@ -154,6 +159,11 @@ func (db *Database) ExplainAnalyze(query string, options ...QueryOption) (*Expla
 // context: the instrumented execution obeys the same cancellation,
 // deadline and budget rules as QueryContext.
 func (db *Database) ExplainAnalyzeContext(ctx context.Context, query string, options ...QueryOption) (*Explanation, error) {
+	release, err := db.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	cfg := makeConfig(options)
 	c, hit, err := db.compile(query, cfg)
 	if err != nil {

@@ -1,0 +1,175 @@
+package gapplydb
+
+import (
+	"context"
+	"time"
+
+	"gapplydb/internal/exec"
+	"gapplydb/internal/sql"
+)
+
+// Stream is an incrementally consumed query result: the rows of Query,
+// delivered one at a time as execution produces them, without the
+// server-side materialization Result implies. The network server
+// streams every remote query through one of these, so a large result
+// only ever exists in full on the client.
+//
+// A Stream belongs to a single goroutine. Close must always be called;
+// it is idempotent and releases the execution (and the database's
+// in-flight registration, which Database.Close waits on). Draining a
+// stream to completion yields exactly the rows, errors and statistics
+// the materializing path would have produced.
+type Stream struct {
+	// Columns are the output column names, in order.
+	Columns []string
+
+	db      *Database
+	cur     *exec.Cursor  // nil for pre-materialized (EXPLAIN) streams
+	ectx    *exec.Context // execution context, for counters at finish
+	rows    [][]any       // pre-materialized rows (EXPLAIN statements)
+	ri      int
+	stop    context.CancelFunc // unwinds lifecycle/timeout contexts
+	release func()             // db in-flight registration
+	start   time.Time
+	stats   ExecStats
+	elapsed time.Duration
+	done    bool
+	err     error
+}
+
+// Stream is StreamContext under context.Background().
+func (db *Database) Stream(query string, options ...QueryOption) (*Stream, error) {
+	return db.StreamContext(context.Background(), query, options...)
+}
+
+// StreamContext parses, binds, optimizes and starts a statement,
+// returning a Stream over its output instead of a materialized Result.
+// Cancellation, deadlines and budgets behave exactly as in QueryContext;
+// the MaxOutputRows budget is charged per delivered row. A statement
+// with an EXPLAIN [ANALYZE] prefix is executed through the explain path
+// (which materializes) and its report lines are replayed as the stream's
+// rows, so remote shells need no special casing.
+func (db *Database) StreamContext(ctx context.Context, query string, options ...QueryOption) (*Stream, error) {
+	release, err := db.acquire()
+	if err != nil {
+		return nil, err
+	}
+	cfg := makeConfig(options)
+	c, hit, err := db.compile(query, cfg)
+	if err != nil {
+		release()
+		return nil, err
+	}
+	cfg.planCacheHit = hit
+	if c.mode != sql.ExplainNone {
+		e, err := db.explainCompiled(ctx, c, cfg, c.mode == sql.ExplainAnalyze)
+		if err != nil {
+			release()
+			return nil, err
+		}
+		res := e.planResult()
+		release()
+		return &Stream{
+			Columns: res.Columns, rows: res.Rows,
+			stats: res.Stats, elapsed: res.Elapsed,
+		}, nil
+	}
+
+	ctx, stop := db.lifecycleContext(ctx)
+	if cfg.budget.Timeout > 0 {
+		inner, cancel := context.WithTimeout(ctx, cfg.budget.Timeout)
+		outerStop := stop
+		ctx, stop = inner, func() { cancel(); outerStop() }
+	}
+	ectx := db.execContext(ctx, cfg)
+	cur, err := exec.Start(c.plan, ectx)
+	if err != nil {
+		stop()
+		release()
+		db.reg.Counter("queries").Inc()
+		return nil, db.classifyExecError(err)
+	}
+	s := &Stream{
+		Columns: make([]string, cur.Schema.Len()),
+		db:      db, cur: cur, ectx: ectx,
+		stop: stop, release: release, start: time.Now(),
+	}
+	for i, col := range cur.Schema.Cols {
+		s.Columns[i] = col.QualifiedName()
+	}
+	return s, nil
+}
+
+// Next returns the next row (values in the same Go representations
+// Result.Rows uses). ok=false with a nil error marks exhaustion; errors
+// are classified exactly as QueryContext classifies them and are final.
+func (s *Stream) Next() ([]any, bool, error) {
+	if s.done {
+		return nil, false, s.err
+	}
+	if s.cur == nil { // pre-materialized (EXPLAIN) stream
+		if s.ri >= len(s.rows) {
+			s.done = true
+			return nil, false, nil
+		}
+		r := s.rows[s.ri]
+		s.ri++
+		return r, true, nil
+	}
+	row, ok, err := s.cur.Next()
+	if err != nil {
+		s.finish(err)
+		return nil, false, s.err
+	}
+	if !ok {
+		s.finish(nil)
+		return nil, false, nil
+	}
+	out := make([]any, len(row))
+	for i, v := range row {
+		out[i] = toGo(v)
+	}
+	return out, true, nil
+}
+
+// finish settles the stream exactly once: metrics, stats, error
+// classification, and the lifecycle registrations.
+func (s *Stream) finish(err error) {
+	if s.done {
+		return
+	}
+	s.done = true
+	s.cur.Close()
+	s.elapsed = time.Since(s.start)
+	s.db.reg.Counter("queries").Inc()
+	s.db.reg.Histogram("execute_latency").Observe(s.elapsed)
+	if err != nil {
+		s.err = s.db.classifyExecError(err)
+	} else {
+		s.db.recordExecMetrics(s.ectx.Counters)
+		s.stats = statsOf(s.ectx.Counters)
+	}
+	s.stop()
+	s.release()
+}
+
+// Close abandons (or, after exhaustion, finalizes) the stream. Closing
+// before exhaustion counts the query as executed and records the work
+// done up to that point. Always returns the stream's final error state.
+func (s *Stream) Close() error {
+	if !s.done && s.cur != nil {
+		s.finish(nil)
+	}
+	s.done = true
+	return s.err
+}
+
+// Err returns the error the stream ended with, if any.
+func (s *Stream) Err() error { return s.err }
+
+// Stats returns the executor's work counters; valid after the stream is
+// exhausted (before that it is zero).
+func (s *Stream) Stats() ExecStats { return s.stats }
+
+// Elapsed is the wall time from Start to exhaustion (or Close).
+func (s *Stream) Elapsed() time.Duration { return s.elapsed }
