@@ -17,6 +17,14 @@
 //	bench -remote host:7744 -soak 50   # …then a 50-client concurrency soak,
 //	                         # every successful result verified, admission
 //	                         # fast-rejections tolerated and counted
+//	bench -replay testdata/corpus -remote host:7744 \
+//	      -rate 100 -duration 30s    # replay the golden corpus: sequential
+//	                         # conformance (goldens, error taxonomy, spool and
+//	                         # plan-cache counters at every matrix dop), then a
+//	                         # mixed open-loop workload; report → BENCH_6.json
+//	bench -replay testdata/corpus -update   # regenerate the corpus goldens
+//	                         # from an embedded database (deterministic: a
+//	                         # second pass is a no-op)
 package main
 
 import (
@@ -39,7 +47,27 @@ func main() {
 	jsonPath := flag.String("json", "", "write per-query JSON reports (plan hash, trace, operator timings) to this file")
 	remote := flag.String("remote", "", "differential smoke against a gapplyd server at host:port: run the whole suite in-process and over the wire, fail on any byte difference")
 	soak := flag.Int("soak", 0, "with -remote: follow the differential with a concurrency soak of this many clients hammering the server at once")
+	replayDir := flag.String("replay", "", "replay the golden corpus in this directory against -remote (conformance + mixed load), or with -update regenerate its goldens")
+	update := flag.Bool("update", false, "with -replay: regenerate the corpus goldens from an embedded database")
+	mode := flag.String("mode", "open", "with -replay: load-phase arrival discipline, open (Poisson at -rate) | closed (-clients workers back-to-back)")
+	rate := flag.Float64("rate", 50, "with -replay: open-loop arrival rate, queries/second")
+	clients := flag.Int("clients", 8, "with -replay: client connections (open) or workers (closed)")
+	duration := flag.Duration("duration", 0, "with -replay: load-phase duration (0 = conformance only)")
+	seed := flag.Int64("seed", 1, "with -replay: workload mix seed")
+	metricsURL := flag.String("metrics-http", "", "with -replay: the server's /metrics URL; enables the admission-counter assertions")
 	flag.Parse()
+
+	if *replayDir != "" {
+		err := runReplay(replayFlags{
+			corpus: *replayDir, remote: *remote, update: *update,
+			mode: *mode, rate: *rate, clients: *clients, duration: *duration,
+			seed: *seed, metricsURL: *metricsURL, jsonPath: *jsonPath,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *remote != "" {
 		// The server must hold TPC-H at the same -sf (generation is

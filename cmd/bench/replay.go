@@ -1,0 +1,108 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"gapplydb"
+	"gapplydb/replay"
+)
+
+// replayFlags carries the -replay mode's knobs from main.
+type replayFlags struct {
+	corpus     string // corpus directory
+	remote     string // gapplyd address; required unless -update
+	update     bool   // regenerate goldens locally instead of replaying
+	mode       string // open | closed
+	rate       float64
+	clients    int
+	duration   time.Duration
+	seed       int64
+	metricsURL string
+	jsonPath   string
+}
+
+// runReplay is the -replay entrypoint: -update regenerates the corpus
+// goldens from an embedded database; otherwise the corpus replays
+// against the live server at -remote and the report lands in
+// -json (default BENCH_6.json).
+func runReplay(f replayFlags) error {
+	c, err := replay.Load(f.corpus)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+
+	if f.update {
+		if f.remote != "" {
+			return fmt.Errorf("-update regenerates goldens locally; drop -remote")
+		}
+		fmt.Printf("loading TPC-H at scale factor %g for golden regeneration...\n", c.ScaleFactor)
+		db, err := gapplydb.OpenTPCH(c.ScaleFactor)
+		if err != nil {
+			return err
+		}
+		changed, err := replay.UpdateGoldens(ctx, db, c)
+		if err != nil {
+			return err
+		}
+		if len(changed) == 0 {
+			fmt.Println("goldens up to date")
+		} else {
+			fmt.Printf("regenerated %d golden(s): %v\n", len(changed), changed)
+		}
+		return nil
+	}
+
+	if f.remote == "" {
+		return fmt.Errorf("-replay needs -remote host:port (or -update to regenerate goldens)")
+	}
+	if f.jsonPath == "" {
+		f.jsonPath = "BENCH_6.json"
+	}
+	rep, runErr := replay.Run(ctx, c, replay.DriverConfig{
+		Addr:       f.remote,
+		Mode:       f.mode,
+		Rate:       f.rate,
+		Clients:    f.clients,
+		Duration:   f.duration,
+		Seed:       f.seed,
+		MetricsURL: f.metricsURL,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("replay: "+format+"\n", args...)
+		},
+	})
+	if rep != nil {
+		if err := rep.WriteJSON(f.jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", f.jsonPath)
+		printReplaySummary(rep)
+	}
+	return runErr
+}
+
+func printReplaySummary(rep *replay.Report) {
+	failed := 0
+	for _, a := range rep.Asserts {
+		if !a.OK {
+			failed++
+		}
+	}
+	fmt.Printf("conformance: %d runs, %d assertions, %d failed\n",
+		len(rep.Conformance), len(rep.Asserts), failed)
+	if l := rep.Load; l != nil {
+		fmt.Printf("load: issued=%d completed=%d throughput=%.1f qps busy=%.1f%% plancache=%.1f%%\n",
+			l.Issued, l.Completed, l.ThroughputQPS, 100*l.BusyRatio, 100*l.PlanCacheHitRatio)
+		fmt.Printf("latency overall: p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
+			l.Overall.P50MS, l.Overall.P95MS, l.Overall.P99MS, l.Overall.MaxMS)
+		for _, q := range l.PerQuery {
+			fmt.Printf("  %-16s n=%-5d p50=%8.2fms p95=%8.2fms p99=%8.2fms errs=%v\n",
+				q.Query, q.Count, q.Latency.P50MS, q.Latency.P95MS, q.Latency.P99MS, q.Errors)
+		}
+		if l.Admission != nil {
+			fmt.Printf("admission deltas: queued=%d rejected=%d\n", l.Admission.Queued, l.Admission.Rejected)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"strings"
@@ -46,6 +47,29 @@ var DefaultLatencyBuckets = []time.Duration{
 	10 * time.Second,
 }
 
+// FineLatencyBuckets is a 1-2-5 grid from 50µs to 10s — the resolution
+// latency percentiles need. The workload-replay driver records against
+// these; the engine's always-on histograms keep the cheaper decades.
+var FineLatencyBuckets = []time.Duration{
+	50 * time.Microsecond,
+	100 * time.Microsecond,
+	200 * time.Microsecond,
+	500 * time.Microsecond,
+	time.Millisecond,
+	2 * time.Millisecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	20 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	200 * time.Millisecond,
+	500 * time.Millisecond,
+	time.Second,
+	2 * time.Second,
+	5 * time.Second,
+	10 * time.Second,
+}
+
 // Histogram tallies durations into fixed buckets. Buckets are
 // cumulative-free (each observation lands in exactly one bucket, the
 // first whose upper bound contains it; observations beyond the last
@@ -55,15 +79,20 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1; last is overflow (+Inf)
 	count  atomic.Int64
 	sum    atomic.Int64 // nanoseconds
+	min    atomic.Int64 // nanoseconds; MaxInt64 until the first observation
+	max    atomic.Int64 // nanoseconds
 }
 
 // NewHistogram builds a histogram over ascending upper bounds; nil
 // bounds means DefaultLatencyBuckets.
 func NewHistogram(bounds []time.Duration) *Histogram {
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
 	if bounds == nil {
-		bounds = DefaultLatencyBuckets
+		h.bounds = DefaultLatencyBuckets
+		h.counts = make([]atomic.Int64, len(DefaultLatencyBuckets)+1)
 	}
-	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	h.min.Store(math.MaxInt64)
+	return h
 }
 
 // Observe records one duration.
@@ -72,12 +101,34 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	h.sum.Add(int64(d))
+	for {
+		cur := h.min.Load()
+		if int64(d) >= cur || h.min.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
 }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of everything observed
+// so far; see HistogramSnapshot.Quantile for the estimator.
+func (h *Histogram) Quantile(q float64) time.Duration { return h.snapshot().Quantile(q) }
+
+// Snapshot returns a point-in-time copy of the histogram, for callers
+// that need several derived statistics from one consistent view.
+func (h *Histogram) Snapshot() HistogramSnapshot { return h.snapshot() }
 
 // HistogramSnapshot is a point-in-time copy of a histogram.
 type HistogramSnapshot struct {
 	Count   int64
 	Sum     time.Duration
+	Min     time.Duration // smallest observation (0 when empty)
+	Max     time.Duration // largest observation (0 when empty)
 	Buckets []BucketCount
 }
 
@@ -97,11 +148,69 @@ func (s HistogramSnapshot) Mean() time.Duration {
 	return s.Sum / time.Duration(s.Count)
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the bucket holding the target rank: a bucket (lo, hi] with c
+// observations is treated as c points spread evenly across its width.
+// The tracked Min/Max tighten the first occupied bucket, the overflow
+// bucket (whose upper bound is unbounded), and the result overall, so
+// p0 is exactly Min, p100 exactly Max, and a single-observation
+// histogram answers that observation for every q. Empty histograms
+// answer 0; q outside [0,1] is clamped.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	target := q * float64(s.Count)
+	var cum float64
+	for i, b := range s.Buckets {
+		if b.Count == 0 {
+			continue
+		}
+		next := cum + float64(b.Count)
+		if next < target {
+			cum = next
+			continue
+		}
+		lo := time.Duration(0)
+		if i > 0 {
+			lo = s.Buckets[i-1].UpperBound
+		}
+		hi := b.UpperBound
+		if hi == 0 { // overflow bucket: bounded above by the observed max
+			hi = s.Max
+		}
+		// Clip to the observed range: every observation lies in [Min, Max],
+		// so no quantile can fall outside it.
+		if lo < s.Min {
+			lo = s.Min
+		}
+		if hi > s.Max {
+			hi = s.Max
+		}
+		if hi <= lo {
+			return lo
+		}
+		frac := (target - cum) / float64(b.Count)
+		return lo + time.Duration(frac*float64(hi-lo))
+	}
+	return s.Max
+}
+
 func (h *Histogram) snapshot() HistogramSnapshot {
 	out := HistogramSnapshot{
 		Count:   h.count.Load(),
 		Sum:     time.Duration(h.sum.Load()),
+		Max:     time.Duration(h.max.Load()),
 		Buckets: make([]BucketCount, len(h.counts)),
+	}
+	if mn := h.min.Load(); mn != math.MaxInt64 {
+		out.Min = time.Duration(mn)
 	}
 	for i := range h.bounds {
 		out.Buckets[i] = BucketCount{UpperBound: h.bounds[i], Count: h.counts[i].Load()}
@@ -142,11 +251,19 @@ func (r *Registry) Counter(name string) *Counter {
 // Histogram returns the named histogram (default latency buckets),
 // creating it on first use.
 func (r *Registry) Histogram(name string) *Histogram {
+	return r.HistogramWith(name, nil)
+}
+
+// HistogramWith is Histogram with explicit bucket bounds (nil = the
+// default latency buckets). Bounds apply only on first use: once a
+// histogram exists under the name, later calls return it unchanged, so
+// every recorder of a name should agree on its buckets.
+func (r *Registry) HistogramWith(name string, bounds []time.Duration) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h, ok := r.histograms[name]
 	if !ok {
-		h = NewHistogram(nil)
+		h = NewHistogram(bounds)
 		r.histograms[name] = h
 	}
 	return h
@@ -211,7 +328,8 @@ func (s Snapshot) String() string {
 	sort.Strings(names)
 	for _, n := range names {
 		h := s.Histograms[n]
-		fmt.Fprintf(&b, "%s: count=%d mean=%s\n", n, h.Count, h.Mean())
+		fmt.Fprintf(&b, "%s: count=%d mean=%s p50=%s p95=%s p99=%s\n",
+			n, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
 		for _, bk := range h.Buckets {
 			if bk.Count == 0 {
 				continue

@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestQuantileEmpty(t *testing.T) {
+	h := NewHistogram(nil)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%g) = %v, want 0", q, got)
+		}
+	}
+}
+
+func TestQuantileSingleObservation(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Observe(7 * time.Millisecond)
+	// One observation answers itself at every q — Min/Max clipping must
+	// collapse the bucket to the point.
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 7*time.Millisecond {
+			t.Errorf("Quantile(%g) = %v, want 7ms", q, got)
+		}
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	// All observations land in the (1ms, 10ms] bucket; interpolation runs
+	// across the observed [2ms, 8ms] range, not the full bucket width.
+	h := NewHistogram(nil)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(8 * time.Millisecond)
+	if got := h.Quantile(0); got != 2*time.Millisecond {
+		t.Errorf("p0 = %v, want 2ms", got)
+	}
+	if got := h.Quantile(1); got != 8*time.Millisecond {
+		t.Errorf("p100 = %v, want 8ms", got)
+	}
+	mid := h.Quantile(0.5)
+	if mid < 2*time.Millisecond || mid > 8*time.Millisecond {
+		t.Errorf("p50 = %v, want within [2ms, 8ms]", mid)
+	}
+}
+
+func TestQuantileUniformDistribution(t *testing.T) {
+	// 10000 observations spread uniformly over (0, 1s]: every quantile of
+	// the true distribution is q·1s; the bucketed estimate must land
+	// within one bucket width of it.
+	h := NewHistogram(FineLatencyBuckets)
+	const n = 10000
+	for i := 1; i <= n; i++ {
+		h.Observe(time.Duration(i) * time.Second / n)
+	}
+	for _, q := range []float64{0.10, 0.50, 0.90, 0.95, 0.99} {
+		got := h.Quantile(q)
+		want := time.Duration(q * float64(time.Second))
+		// Tolerance: the width of the bucket the true quantile falls in
+		// (1-2-5 grid → at most 60% of the value at these magnitudes).
+		tol := time.Duration(0.6 * float64(want))
+		if diff := (got - want).Abs(); diff > tol {
+			t.Errorf("Quantile(%g) = %v, want %v ± %v", q, got, want, tol)
+		}
+	}
+}
+
+func TestQuantileExactWithinBucket(t *testing.T) {
+	// A hand-checkable case: bounds {10, 20, 30}, four observations with
+	// known positions. Cumulative counts: (0,10]=2, (10,20]=1, (20,30]=1.
+	h := NewHistogram([]time.Duration{10, 20, 30})
+	h.Observe(4)
+	h.Observe(8)
+	h.Observe(15)
+	h.Observe(25)
+	// target(0.5) = 2 falls at the end of the first bucket, whose observed
+	// range is clipped to [4 (min), 10]: lo + 1.0·(hi-lo) = 10.
+	if got := h.Quantile(0.5); got != 10 {
+		t.Errorf("p50 = %v, want 10", got)
+	}
+	// target(0.75) = 3: second bucket, frac = (3-2)/1 = 1 → its upper
+	// bound, 20.
+	if got := h.Quantile(0.75); got != 20 {
+		t.Errorf("p75 = %v, want 20", got)
+	}
+	// target(1) → observed max.
+	if got := h.Quantile(1); got != 25 {
+		t.Errorf("p100 = %v, want 25 (max)", got)
+	}
+}
+
+func TestQuantileOverflowBucket(t *testing.T) {
+	// Observations past the last bound land in the overflow bucket, which
+	// has no upper bound of its own: the estimator must use the observed
+	// max instead of extrapolating to infinity.
+	h := NewHistogram([]time.Duration{time.Millisecond})
+	h.Observe(500 * time.Microsecond)
+	h.Observe(3 * time.Second)
+	h.Observe(5 * time.Second)
+	h.Observe(9 * time.Second)
+	if got := h.Quantile(0.99); got > 9*time.Second {
+		t.Errorf("p99 = %v, want ≤ max (9s)", got)
+	}
+	if got := h.Quantile(1); got != 9*time.Second {
+		t.Errorf("p100 = %v, want 9s", got)
+	}
+	if got := h.Quantile(0.75); got < time.Second || got > 9*time.Second {
+		t.Errorf("p75 = %v, want within the overflow range (1s, 9s]", got)
+	}
+}
+
+func TestQuantileClampsRange(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Observe(time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	if got := h.Quantile(-1); got != time.Millisecond {
+		t.Errorf("Quantile(-1) = %v, want min", got)
+	}
+	if got := h.Quantile(2); got != 2*time.Millisecond {
+		t.Errorf("Quantile(2) = %v, want max", got)
+	}
+}
+
+func TestSnapshotMinMax(t *testing.T) {
+	h := NewHistogram(nil)
+	s := h.snapshot()
+	if s.Min != 0 || s.Max != 0 {
+		t.Errorf("empty snapshot min/max = %v/%v, want 0/0", s.Min, s.Max)
+	}
+	h.Observe(3 * time.Millisecond)
+	h.Observe(time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	s = h.snapshot()
+	if s.Min != time.Millisecond || s.Max != 3*time.Millisecond {
+		t.Errorf("min/max = %v/%v, want 1ms/3ms", s.Min, s.Max)
+	}
+}
+
+func TestHistogramWithBounds(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramWith("lat", FineLatencyBuckets)
+	if r.HistogramWith("lat", nil) != h || r.Histogram("lat") != h {
+		t.Fatal("HistogramWith must return a stable instrument per name")
+	}
+	h.Observe(time.Millisecond)
+	s := r.Snapshot().Histograms["lat"]
+	if len(s.Buckets) != len(FineLatencyBuckets)+1 {
+		t.Fatalf("bucket count = %d, want %d", len(s.Buckets), len(FineLatencyBuckets)+1)
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	// Quantile must be monotone in q for any distribution; probe with a
+	// skewed one.
+	h := NewHistogram(FineLatencyBuckets)
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Duration(math.Pow(float64(i), 1.7)) * time.Microsecond)
+	}
+	prev := time.Duration(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile(%g) = %v < previous %v: not monotone", q, got, prev)
+		}
+		prev = got
+	}
+}

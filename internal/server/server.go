@@ -11,6 +11,7 @@ import (
 
 	"gapplydb"
 	"gapplydb/internal/metrics"
+	"gapplydb/internal/sql"
 	"gapplydb/internal/wire"
 )
 
@@ -252,6 +253,7 @@ func statPairs(st gapplydb.ExecStats) []wire.StatPair {
 // errorCode maps an engine error onto the wire taxonomy.
 func errorCode(err error) string {
 	var re *gapplydb.ResourceError
+	var pe *sql.ParseError
 	switch {
 	case errors.Is(err, context.Canceled):
 		return wire.CodeCancelled
@@ -261,6 +263,8 @@ func errorCode(err error) string {
 		return wire.CodeResource
 	case errors.Is(err, gapplydb.ErrDatabaseClosed):
 		return wire.CodeShutdown
+	case errors.As(err, &pe):
+		return wire.CodeParse
 	default:
 		return wire.CodeInternal
 	}

@@ -75,6 +75,10 @@ func (s *session) writeFrame(t wire.Type, payload []byte) error {
 }
 
 func (s *session) writeError(id uint64, code, msg string) error {
+	// Per-code taxonomy counters: server_errors_cancelled, _timeout,
+	// _busy, … so operators (and the replay harness) can tell shedding
+	// from genuine failures without parsing logs.
+	s.srv.reg.Counter("server_errors_" + code).Inc()
 	m := wire.ErrorMsg{ID: id, Code: code, Message: msg}
 	return s.writeFrame(wire.TypeError, m.Encode())
 }

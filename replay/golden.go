@@ -1,0 +1,83 @@
+package replay
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"gapplydb"
+)
+
+// UpdateGoldens regenerates every golden from an embedded database
+// loaded at the manifest's scale factor, executing each query at dop 1
+// (dop is output-invariant — the differential suite pins that — so any
+// degree would produce the same bytes). Files whose content is already
+// correct are left untouched; the returned list names the files that
+// changed, so a second pass on an unchanged engine returns nothing —
+// the determinism property the test suite asserts. Queries expecting an
+// error have no goldens; a stale golden file for one is removed.
+func UpdateGoldens(ctx context.Context, db *gapplydb.Database, c *Corpus) ([]string, error) {
+	res, err := db.QueryContext(ctx, dataGuardSQL)
+	if err != nil {
+		return nil, fmt.Errorf("replay: data guard: %w", err)
+	}
+	if err := c.CheckData(res.Rows); err != nil {
+		return nil, err
+	}
+	var changed []string
+	dir := filepath.Join(c.Dir, "golden")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	for _, q := range c.Queries {
+		path := c.GoldenPath(q)
+		if q.Expect.Error != "" {
+			if _, err := os.Stat(path); err == nil {
+				if err := os.Remove(path); err != nil {
+					return nil, err
+				}
+				changed = append(changed, filepath.Base(path))
+			}
+			continue
+		}
+		out, err := RunLocal(ctx, db, q, 1)
+		if err != nil {
+			return nil, err
+		}
+		if out.Code != "" {
+			return nil, fmt.Errorf("replay: %s: golden run failed (%s): %w", q.Name, out.Code, out.Err)
+		}
+		old, readErr := os.ReadFile(path)
+		if readErr == nil && bytes.Equal(old, out.Rendered) {
+			continue
+		}
+		if err := os.WriteFile(path, out.Rendered, 0o644); err != nil {
+			return nil, err
+		}
+		changed = append(changed, filepath.Base(path))
+	}
+	sort.Strings(changed)
+	return changed, nil
+}
+
+// dataGuardSQL is the cheap probe CheckData interprets.
+const dataGuardSQL = "select count(*) from partsupp"
+
+// CheckData checks the rows returned by dataGuardSQL against the
+// manifest: goldens are only meaningful over the data they were
+// generated from, and a scale-factor mismatch would otherwise fail
+// every golden with a confusing diff instead of the actual cause.
+func (c *Corpus) CheckData(rows [][]any) error {
+	if len(rows) != 1 || len(rows[0]) != 1 {
+		return fmt.Errorf("replay: data guard: unexpected shape %v", rows)
+	}
+	n, ok := rows[0][0].(int64)
+	if !ok || n != c.PartsuppRows {
+		return fmt.Errorf("replay: data mismatch: partsupp has %v rows but the corpus was generated at scale factor %g (%d rows) — use a server loaded with -sf %g",
+			rows[0][0], c.ScaleFactor, c.PartsuppRows, c.ScaleFactor)
+	}
+	return nil
+}

@@ -1,0 +1,1 @@
+select p_name, p_retailprice from part, partsupp where ps_partkey = p_partkey

@@ -1,0 +1,1 @@
+select ps_partkey, p_partkey, s_suppkey from partsupp, part, supplier

@@ -1,0 +1,1 @@
+select s_name, s_acctbal from supplier where s_suppkey = 3

@@ -1,0 +1,12 @@
+
+	select tmp.k1, p_name, p_size, p_retailprice
+	from (select ps_suppkey, p_size, avg(p_retailprice)
+	      from partsupp, part
+	      where p_partkey = ps_partkey
+	      group by ps_suppkey, p_size) as tmp(k1, k2, avgprice),
+	     partsupp, part
+	where ps_partkey = p_partkey
+	  and ps_suppkey = tmp.k1
+	  and p_size = tmp.k2
+	  and p_retailprice > tmp.avgprice
+	order by tmp.k1

@@ -1,0 +1,6 @@
+
+	select gapply(select p_name, p_retailprice from g
+	              where p_retailprice > (select avg(p_retailprice) from g))
+	from partsupp, part
+	where ps_partkey = p_partkey
+	group by ps_suppkey, p_size : g

@@ -1,0 +1,3 @@
+select gapply(select p_name, p_retailprice from g, part
+				where ps_partkey = p_partkey and p_retailprice > 1000)
+			from partsupp group by ps_suppkey : g

@@ -1,0 +1,3 @@
+select gapply(select p_name, ps_availqty from g, part
+				where ps_partkey = p_partkey)
+			from partsupp group by ps_suppkey : g

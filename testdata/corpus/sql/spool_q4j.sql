@@ -1,0 +1,3 @@
+select gapply(select min(p_retailprice), count(*) from g, part
+				where ps_partkey = p_partkey and p_size < 30)
+			from partsupp group by ps_suppkey : g

@@ -1,0 +1,1 @@
+select gapply(select 0, p_name, p_retailprice, null from g union all select 1, null, null, avg(p_retailprice) from g) from partsupp, part where ps_partkey = p_partkey group by ps_suppkey : g

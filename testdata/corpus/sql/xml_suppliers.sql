@@ -1,0 +1,1 @@
+select gapply(select 0, p_name, p_retailprice from g where exists (select ps_suppkey from g where p_retailprice > 1000)) from partsupp, part where ps_partkey = p_partkey group by ps_suppkey : g
