@@ -54,6 +54,10 @@ const (
 type ServerError struct {
 	Code    string
 	Message string
+	// TraceID identifies the failed query's trace when it was traced —
+	// the error's full timeline is retrievable from the server's flight
+	// recorder even though the query never produced rows.
+	TraceID gapplydb.TraceID
 }
 
 func (e *ServerError) Error() string { return fmt.Sprintf("gapplyd: %s (%s)", e.Message, e.Code) }
@@ -75,7 +79,10 @@ func (e *ServerError) Is(target error) bool {
 var ErrConnClosed = errors.New("client: connection closed")
 
 // queryOpts is the per-query option accumulator.
-type queryOpts struct{ w wire.QueryOptions }
+type queryOpts struct {
+	w     wire.QueryOptions
+	trace gapplydb.TraceID
+}
 
 // QueryOption tunes one remote query.
 type QueryOption func(*queryOpts)
@@ -110,6 +117,24 @@ func WithDOP(n int) QueryOption {
 	}
 }
 
+// WithTraceID attaches a client-issued trace ID to the query. The
+// server traces the whole request path under it — admission wait,
+// compile, execution — echoes it in the terminating frame, and retains
+// the trace in its flight recorder, where /debug/traces/<id> (or the
+// shell's \trace <id>) finds it. A zero ID is ignored.
+func WithTraceID(id gapplydb.TraceID) QueryOption {
+	return func(o *queryOpts) { o.trace = id }
+}
+
+// WithTracing attaches a fresh trace ID (client-issued tracing without
+// choosing the ID yourself; read it back from Stats.TraceID).
+func WithTracing() QueryOption {
+	return func(o *queryOpts) { o.trace = gapplydb.NewTraceID() }
+}
+
+// NewTraceID mints a random trace ID for WithTraceID.
+func NewTraceID() gapplydb.TraceID { return gapplydb.NewTraceID() }
+
 // Stats summarizes one completed remote query.
 type Stats struct {
 	// Rows is the total row count (or, for XML, document bytes see
@@ -120,6 +145,10 @@ type Stats struct {
 	// Exec carries the engine's work counters, exactly as the embedded
 	// Result.Stats would.
 	Exec gapplydb.ExecStats
+	// TraceID identifies the query's server-side trace (zero when the
+	// query was not traced). Set whether the trace was client-issued or
+	// head-sampled by the server.
+	TraceID gapplydb.TraceID
 }
 
 // frame is one demultiplexed message.
@@ -327,7 +356,7 @@ func (c *Conn) Query(ctx context.Context, query string, opts ...QueryOption) (*R
 	if err != nil {
 		return nil, err
 	}
-	msg := wire.QueryMsg{ID: id, SQL: query, Opts: o.w}
+	msg := wire.QueryMsg{ID: id, SQL: query, Opts: o.w, Trace: o.trace}
 	if err := c.writeFrame(wire.TypeQuery, msg.Encode()); err != nil {
 		c.unregister(id)
 		return nil, err
@@ -378,7 +407,7 @@ func (c *Conn) QueryXML(ctx context.Context, query string, plan *xmlpub.TagPlan,
 		return Stats{}, err
 	}
 	defer c.unregister(id)
-	msg := wire.QueryMsg{ID: id, SQL: query, Opts: o.w}
+	msg := wire.QueryMsg{ID: id, SQL: query, Opts: o.w, Trace: o.trace}
 	if err := c.writeFrame(wire.TypeQuery, msg.Encode()); err != nil {
 		return Stats{}, err
 	}
@@ -407,7 +436,7 @@ func (c *Conn) QueryXML(ctx context.Context, query string, plan *xmlpub.TagPlan,
 			if err != nil {
 				return Stats{}, err
 			}
-			return Stats{Rows: m.Rows, Elapsed: m.Elapsed, Exec: foldStats(m.Stats)}, nil
+			return Stats{Rows: m.Rows, Elapsed: m.Elapsed, Exec: foldStats(m.Stats), TraceID: m.Trace}, nil
 		case wire.TypeError:
 			return Stats{}, decodeServerError(f.payload)
 		default:
@@ -417,9 +446,10 @@ func (c *Conn) QueryXML(ctx context.Context, query string, plan *xmlpub.TagPlan,
 }
 
 // Set assigns a session-scoped default on the server: "timeout",
-// "max_output_rows", "max_partition_bytes", "dop", or "explain"
-// (off|plan|analyze). Subsequent queries on this connection inherit it
-// unless their own options override.
+// "max_output_rows", "max_partition_bytes", "dop", "explain"
+// (off|plan|analyze), or "trace_sampling" (0..1, or "default" for the
+// server's configured probability). Subsequent queries on this
+// connection inherit it unless their own options override.
 func (c *Conn) Set(name, value string) error {
 	id, ch, err := c.register()
 	if err != nil {
@@ -517,7 +547,7 @@ func (r *Rows) Next() ([]any, bool, error) {
 				r.settle(err)
 				return nil, false, r.err
 			}
-			r.stats = Stats{Rows: m.Rows, Elapsed: m.Elapsed, Exec: foldStats(m.Stats)}
+			r.stats = Stats{Rows: m.Rows, Elapsed: m.Elapsed, Exec: foldStats(m.Stats), TraceID: m.Trace}
 			r.settle(nil)
 			return nil, false, nil
 		case wire.TypeError:
@@ -577,7 +607,7 @@ func decodeServerError(p []byte) error {
 	if err != nil {
 		return err
 	}
-	return &ServerError{Code: m.Code, Message: m.Message}
+	return &ServerError{Code: m.Code, Message: m.Message, TraceID: m.Trace}
 }
 
 // foldStats rebuilds ExecStats from the wire's (name, value) pairs.

@@ -55,6 +55,9 @@ func main() {
 	duration := flag.Duration("duration", 0, "with -replay: load-phase duration (0 = conformance only)")
 	seed := flag.Int64("seed", 1, "with -replay: workload mix seed")
 	metricsURL := flag.String("metrics-http", "", "with -replay: the server's /metrics URL; enables the admission-counter assertions")
+	traceOn := flag.Bool("trace", false, "with -replay: run conformance with a client-issued trace ID per query and assert the server echoes it")
+	tracesURL := flag.String("traces-http", "", "with -replay -trace: the server's /debug/traces URL; the slowest conformance trace's Chrome export lands in the report")
+	traceJSON := flag.String("trace-json", "", "with -replay -trace: also write the slowest trace's Chrome JSON to this file (e.g. TRACE_7.json)")
 	flag.Parse()
 
 	if *replayDir != "" {
@@ -62,6 +65,7 @@ func main() {
 			corpus: *replayDir, remote: *remote, update: *update,
 			mode: *mode, rate: *rate, clients: *clients, duration: *duration,
 			seed: *seed, metricsURL: *metricsURL, jsonPath: *jsonPath,
+			trace: *traceOn, tracesURL: *tracesURL, traceJSON: *traceJSON,
 		})
 		if err != nil {
 			fatal(err)

@@ -21,6 +21,9 @@ type replayFlags struct {
 	seed       int64
 	metricsURL string
 	jsonPath   string
+	trace      bool   // trace every conformance execution
+	tracesURL  string // server /debug/traces endpoint for the slowest-trace fetch
+	traceJSON  string // also write the slowest trace's Chrome JSON here
 }
 
 // runReplay is the -replay entrypoint: -update regenerates the corpus
@@ -69,6 +72,8 @@ func runReplay(f replayFlags) error {
 		Duration:   f.duration,
 		Seed:       f.seed,
 		MetricsURL: f.metricsURL,
+		Trace:      f.trace,
+		TracesURL:  f.tracesURL,
 		Logf: func(format string, args ...any) {
 			fmt.Printf("replay: "+format+"\n", args...)
 		},
@@ -78,6 +83,13 @@ func runReplay(f replayFlags) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", f.jsonPath)
+		if f.traceJSON != "" {
+			if err := rep.SlowestTrace.WriteChrome(f.traceJSON); err != nil {
+				fmt.Printf("trace artifact: %v\n", err)
+			} else {
+				fmt.Printf("wrote %s (slowest conformance trace, chrome://tracing format)\n", f.traceJSON)
+			}
+		}
 		printReplaySummary(rep)
 	}
 	return runErr

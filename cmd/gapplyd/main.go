@@ -6,7 +6,7 @@
 // Usage:
 //
 //	gapplyd [-sf 0.01] [-addr :7744]
-//	gapplyd -http :7745          # also serve /healthz and /metrics
+//	gapplyd -http :7745          # also serve /healthz, /metrics and /debug/traces
 //	gapplyd -max-concurrent 8 -max-queued 16 -session-inflight 8
 //	gapplyd -drain 8s            # force-cancel queries still running then
 //
@@ -33,11 +33,12 @@ import (
 func main() {
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor to preload (0 = empty database)")
 	addr := flag.String("addr", ":7744", "TCP listen address for the wire protocol")
-	httpAddr := flag.String("http", "", "optional HTTP listen address for /healthz and /metrics")
+	httpAddr := flag.String("http", "", "optional HTTP listen address for /healthz, /metrics and /debug/traces")
 	maxConcurrent := flag.Int("max-concurrent", 0, "max queries executing at once (0 = GOMAXPROCS)")
 	maxQueued := flag.Int("max-queued", 0, "max queries waiting for a slot before fast-reject (0 = 2x max-concurrent)")
 	sessionInFlight := flag.Int("session-inflight", 0, "max concurrent queries per session (0 = 8)")
 	drain := flag.Duration("drain", 8*time.Second, "graceful-shutdown drain budget before in-flight queries are force-cancelled")
+	traceSampling := flag.Float64("trace-sampling", 0, "head-sample this fraction (0..1) of un-ID'd queries into the trace flight recorder; client-issued trace IDs are always traced")
 	verbose := flag.Bool("v", false, "log per-connection events")
 	flag.Parse()
 
@@ -61,6 +62,7 @@ func main() {
 		MaxConcurrent:   *maxConcurrent,
 		MaxQueued:       *maxQueued,
 		SessionInFlight: *sessionInFlight,
+		TraceSampling:   *traceSampling,
 	}
 	if *verbose {
 		cfg.Logf = logger.Printf

@@ -11,15 +11,20 @@
 //
 // Meta commands: \dt lists tables, \explain <query> explains a
 // one-line query, \metrics dumps the session's metrics, \timeout <dur>
-// sets a per-statement wall-clock limit (\timeout off clears it), \q
-// quits. Ctrl-C while a statement runs cancels just that statement.
+// sets a per-statement wall-clock limit (\timeout off clears it),
+// \trace last|slow|<id> inspects the flight recorder (the last trace,
+// the slowest retained traces, or one full trace by ID), \q quits.
+// Ctrl-C while a statement runs cancels just that statement.
 //
 // Usage:
 //
 //	gsql [-sf 0.01]          # starts with TPC-H loaded at the scale factor
 //	gsql -sf 0               # starts with an empty catalog
 //	gsql -stats              # print executor statistics after each statement
-//	gsql -slowlog 100ms      # print EXPLAIN ANALYZE for statements slower than this
+//	gsql -slowlog 100ms      # print EXPLAIN ANALYZE for statements slower than
+//	                         # this; every statement is traced, so slowlog lines
+//	                         # carry a trace ID and plan hash and the slowest
+//	                         # statements stay inspectable via \trace slow
 //	gsql -connect host:7744  # run statements against a gapplyd server
 //	                         # instead of an embedded database; \timeout and
 //	                         # \set adjust the server-side session options
@@ -163,10 +168,51 @@ func (s *shell) meta(cmd string, w io.Writer) bool {
 			return true
 		}
 		fmt.Fprint(w, e.String())
+	case cmd == `\trace` || strings.HasPrefix(cmd, `\trace `):
+		s.metaTrace(strings.TrimSpace(strings.TrimPrefix(cmd, `\trace`)), w)
 	default:
 		fmt.Fprintf(w, "unknown command %s\n", cmd)
 	}
 	return true
+}
+
+// metaTrace serves \trace against the embedded database's flight
+// recorder: "last" prints the most recent trace's span tree, "slow"
+// lists the slowest retained traces, and a 32-hex-digit ID prints that
+// trace in full.
+func (s *shell) metaTrace(arg string, w io.Writer) {
+	switch {
+	case arg == "last":
+		t := s.db.Traces().Last()
+		if t == nil {
+			fmt.Fprintln(w, "no traces recorded (trace a statement with -slowlog, WithTracing, or sampling)")
+			return
+		}
+		fmt.Fprint(w, t.String())
+	case arg == "slow":
+		slow := s.db.Traces().Slowest()
+		if len(slow) == 0 {
+			fmt.Fprintln(w, "no traces recorded")
+			return
+		}
+		for _, sum := range slow {
+			fmt.Fprintf(w, "%8.3fms  %-6s %s  %s\n", sum.DurMS, sum.Status, sum.ID, sum.Query)
+		}
+	case arg == "":
+		fmt.Fprintln(w, `usage: \trace last|slow|<id>`)
+	default:
+		id, err := gapplydb.ParseTraceID(arg)
+		if err != nil {
+			fmt.Fprintf(w, "bad trace id %q: %v\n", arg, err)
+			return
+		}
+		t := s.db.Traces().Get(id)
+		if t == nil {
+			fmt.Fprintln(w, "trace not retained (evicted or never recorded)")
+			return
+		}
+		fmt.Fprint(w, t.String())
+	}
 }
 
 // run executes one terminated statement and prints its result. The
@@ -184,6 +230,12 @@ func (s *shell) run(stmt string, w io.Writer) {
 	var opts []gapplydb.QueryOption
 	if s.timeout > 0 {
 		opts = append(opts, gapplydb.WithTimeout(s.timeout))
+	}
+	if s.slowlog > 0 {
+		// Trace every statement so a slow one's timeline is already in
+		// the flight recorder when the threshold trips — the slowlog line
+		// names the trace, and \trace slow keeps the worst offenders.
+		opts = append(opts, gapplydb.WithTracing())
 	}
 	start := time.Now()
 	res, err := s.db.QueryContext(ctx, query, opts...)
@@ -214,8 +266,12 @@ func (s *shell) run(stmt string, w io.Writer) {
 			fmt.Fprintln(w, "slowlog: explain analyze failed:", err)
 			return
 		}
-		fmt.Fprintf(w, "-- slow statement (%v >= %v), explain analyze:\n%s",
-			res.Elapsed.Round(time.Microsecond), s.slowlog, e.String())
+		planHash := "?"
+		if t := s.db.Traces().Get(res.TraceID); t != nil && t.PlanHash != "" {
+			planHash = t.PlanHash
+		}
+		fmt.Fprintf(w, "-- slow statement (%v >= %v) trace=%s plan=%s, explain analyze:\n%s",
+			res.Elapsed.Round(time.Microsecond), s.slowlog, res.TraceID, planHash, e.String())
 	}
 }
 

@@ -134,3 +134,68 @@ func TestParseErrorCaret(t *testing.T) {
 		t.Errorf("parse error lacks caret display:\n%s", out)
 	}
 }
+
+// TestShellSlowlogTraceAndPlan: with -slowlog on, every statement is
+// traced, and the slowlog line names the trace and the plan hash so a
+// log entry can be joined back to the flight recorder.
+func TestShellSlowlogTraceAndPlan(t *testing.T) {
+	db := shellDB(t)
+	var b strings.Builder
+	sh := &shell{db: db, slowlog: 1} // 1ns: everything is slow
+	sh.run("select s_name from supplier;", &b)
+	out := b.String()
+	if !strings.Contains(out, "trace=") || !strings.Contains(out, "plan=") {
+		t.Fatalf("slowlog line missing trace/plan:\n%s", out)
+	}
+	// The named trace is actually retained, hash intact.
+	line := out[strings.Index(out, "trace="):]
+	idHex := strings.Fields(line)[0][len("trace="):]
+	id, err := gapplydb.ParseTraceID(idHex)
+	if err != nil {
+		t.Fatalf("slowlog trace id %q: %v", idHex, err)
+	}
+	tr := db.Traces().Get(id)
+	if tr == nil {
+		t.Fatal("slowlog-named trace not in flight recorder")
+	}
+	if !strings.Contains(out, "plan="+tr.PlanHash) {
+		t.Fatalf("slowlog plan hash diverges from trace %q:\n%s", tr.PlanHash, out)
+	}
+}
+
+func TestShellTraceMeta(t *testing.T) {
+	db := shellDB(t)
+	sh := &shell{db: db, slowlog: 1}
+	var b strings.Builder
+	sh.run("select count(*) from part;", &b)
+
+	b.Reset()
+	if !sh.meta(`\trace last`, &b) || !strings.Contains(b.String(), "query") {
+		t.Errorf("\\trace last output:\n%s", b.String())
+	}
+	last := db.Traces().Last()
+	if last == nil {
+		t.Fatal("no last trace")
+	}
+
+	b.Reset()
+	if !sh.meta(`\trace slow`, &b) || !strings.Contains(b.String(), last.ID.String()) {
+		t.Errorf("\\trace slow output:\n%s", b.String())
+	}
+
+	b.Reset()
+	if !sh.meta(`\trace `+last.ID.String(), &b) || !strings.Contains(b.String(), "execute") {
+		t.Errorf("\\trace <id> output:\n%s", b.String())
+	}
+
+	b.Reset()
+	sh.meta(`\trace`, &b)
+	if !strings.Contains(b.String(), "usage") {
+		t.Errorf("\\trace usage output:\n%s", b.String())
+	}
+	b.Reset()
+	sh.meta(`\trace zzz`, &b)
+	if !strings.Contains(b.String(), "bad trace id") {
+		t.Errorf("\\trace zzz output:\n%s", b.String())
+	}
+}

@@ -49,9 +49,33 @@ func (s *shell) metaRemote(cmd string, w io.Writer) bool {
 			s.timeout, _ = time.ParseDuration(arg)
 			fmt.Fprintf(w, "timeout: %v\n", s.timeout)
 		}
+	case cmd == `\trace` || strings.HasPrefix(cmd, `\trace `):
+		// Remote tracing toggles server-side head sampling for this
+		// session; completed traces live in the server's flight recorder
+		// (its -http listener serves them at /debug/traces).
+		arg := strings.TrimSpace(strings.TrimPrefix(cmd, `\trace`))
+		var p string
+		switch arg {
+		case "on":
+			p = "1"
+		case "off":
+			p = "0"
+		default:
+			fmt.Fprintln(w, `usage: \trace on|off  (view traces at the server's /debug/traces)`)
+			break
+		}
+		if p == "" {
+			break
+		}
+		if err := s.remote.Set("trace_sampling", p); err != nil {
+			fmt.Fprintln(w, "error:", err)
+			break
+		}
+		fmt.Fprintf(w, "trace: %s (server retains traces at /debug/traces)\n", arg)
 	case strings.HasPrefix(cmd, `\set `):
 		// \set <name> <value> — raw access to the session options
-		// (timeout, max_output_rows, max_partition_bytes, dop, explain).
+		// (timeout, max_output_rows, max_partition_bytes, dop, explain,
+		// trace_sampling).
 		fields := strings.Fields(cmd[len(`\set `):])
 		if len(fields) != 2 {
 			fmt.Fprintln(w, `usage: \set <name> <value>`)
@@ -107,6 +131,9 @@ func (s *shell) runRemote(query string, w io.Writer) {
 			x.RowsScanned, x.Groups, x.InnerExecs, x.SerialGroupExecs,
 			x.ParallelGroupExecs, x.ApplyExecs, x.ApplyCacheHits, x.JoinProbes,
 			x.SpoolBuilds, x.SpoolHits, x.PlanCacheHits)
+	}
+	if !st.TraceID.IsZero() {
+		fmt.Fprintf(w, "trace: %s\n", st.TraceID)
 	}
 }
 

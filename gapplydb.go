@@ -40,6 +40,7 @@ import (
 	"gapplydb/internal/stats"
 	"gapplydb/internal/storage"
 	"gapplydb/internal/tpch"
+	"gapplydb/internal/trace"
 	"gapplydb/internal/types"
 )
 
@@ -51,6 +52,10 @@ type Database struct {
 	opt   *opt.Optimizer
 	reg   *metrics.Registry
 	plans *planCache
+	// traces is the flight recorder completed traced queries land in;
+	// sampler drives WithTraceSampling decisions (see tracing.go).
+	traces  *trace.Recorder
+	sampler *trace.Sampler
 	// statsEpoch counts RefreshStats calls: plans compiled under old
 	// statistics may no longer be the ones the optimizer would pick, so
 	// the plan-cache key includes the epoch.
@@ -70,7 +75,11 @@ type Database struct {
 
 // newDatabase wires the pieces every constructor shares.
 func newDatabase() *Database {
-	db := &Database{cat: storage.NewCatalog(), reg: metrics.NewRegistry(), plans: newPlanCache()}
+	db := &Database{
+		cat: storage.NewCatalog(), reg: metrics.NewRegistry(), plans: newPlanCache(),
+		traces:  trace.NewRecorder(defaultTraceRecent, defaultTraceSlowest),
+		sampler: trace.NewSampler(time.Now().UnixNano()),
+	}
 	db.closeCtx, db.closeCancel = context.WithCancel(context.Background())
 	return db
 }
@@ -283,6 +292,14 @@ type queryConfig struct {
 	noPlanCache  bool
 	noSpool      bool
 	planCacheHit bool // set after compile; not a user option
+
+	// Tracing (see tracing.go). traceBuilder is either supplied via
+	// WithTraceBuilder (the network server, which opens the trace before
+	// the engine so admission wait is a span) or created by traceSetup.
+	traceID      trace.ID
+	forceTrace   bool
+	traceProb    float64
+	traceBuilder *trace.Builder
 }
 
 // Budget caps one query's resource consumption. Every limit defaults to
@@ -421,6 +438,9 @@ type Result struct {
 	// Trace records every optimizer rule application considered for this
 	// query, in order (nil when the optimizer was skipped).
 	Trace []RuleApplication
+	// TraceID identifies this query's end-to-end trace in the flight
+	// recorder (Database.Traces); zero when the query was not traced.
+	TraceID TraceID
 
 	inner *exec.Result
 	text  string // rendered explanation, for EXPLAIN statements
@@ -479,8 +499,10 @@ func (db *Database) QueryContext(ctx context.Context, query string, options ...Q
 	}
 	defer release()
 	cfg := makeConfig(options)
+	tb := db.traceSetup(&cfg, query)
 	c, hit, err := db.compile(query, cfg)
 	if err != nil {
+		db.finishTrace(tb, err)
 		return nil, err
 	}
 	cfg.planCacheHit = hit
@@ -494,8 +516,10 @@ func (db *Database) QueryContext(ctx context.Context, query string, options ...Q
 	case sql.ExplainPlan:
 		e, err := db.explainCompiled(ctx, c, cfg, false)
 		if err != nil {
+			db.finishTrace(tb, err)
 			return nil, err
 		}
+		db.finishTrace(tb, nil)
 		return e.planResult(), nil
 	}
 	return db.execute(ctx, c, cfg)
@@ -539,29 +563,55 @@ func (db *Database) planCacheKey(query string, cfg queryConfig) string {
 // Cached compilations are immutable and shared: executions only read the
 // plan tree, so one entry serves concurrent callers.
 func (db *Database) compile(query string, cfg queryConfig) (*compiled, bool, error) {
+	tb := cfg.traceBuilder // nil for untraced queries; every call below no-ops
 	var key string
 	if !cfg.noPlanCache {
 		key = db.planCacheKey(query, cfg)
-		if c, ok := db.plans.get(key); ok {
+		lookup := tb.StartSpan("plan-cache", 0)
+		c, ok := db.plans.get(key)
+		tb.EndSpan(lookup)
+		if ok {
+			tb.Annotate(lookup, trace.Attr{Key: "verdict", Value: "hit"})
+			tb.SetPlanHash(core.PlanHash(c.plan))
 			db.reg.Counter("plan_cache_hits").Inc()
 			return c, true, nil
 		}
+		tb.Annotate(lookup, trace.Attr{Key: "verdict", Value: "miss"})
 		db.reg.Counter("plan_cache_misses").Inc()
 	}
 	start := time.Now()
+	parseSpan := tb.StartSpan("parse", 0)
 	stmt, mode, err := sql.Parse(query)
+	tb.EndSpan(parseSpan)
 	if err != nil {
 		db.reg.Counter("query_errors").Inc()
 		return nil, false, err
 	}
+	bindSpan := tb.StartSpan("bind", 0)
 	bound, err := bind.New(db.cat).Bind(stmt)
+	tb.EndSpan(bindSpan)
 	if err != nil {
 		db.reg.Counter("query_errors").Inc()
 		return nil, false, err
 	}
-	plan, trace := db.opt.OptimizeTraced(bound, cfg.optOpts)
+	optSpan := tb.StartSpan("optimize", 0)
+	plan, ruleTrace := db.opt.OptimizeTraced(bound, cfg.optOpts)
+	tb.EndSpan(optSpan)
+	if tb != nil {
+		accepted := 0
+		for _, a := range ruleTrace {
+			if a.Accepted {
+				accepted++
+				tb.Annotate(optSpan, trace.Attr{Key: "rule", Value: a.Rule})
+			}
+		}
+		tb.Annotate(optSpan,
+			trace.Attr{Key: "rules_accepted", Value: fmt.Sprint(accepted)},
+			trace.Attr{Key: "rules_considered", Value: fmt.Sprint(len(ruleTrace))})
+		tb.SetPlanHash(core.PlanHash(plan))
+	}
 	db.reg.Histogram("optimize_latency").Observe(time.Since(start))
-	c := &compiled{plan: plan, trace: trace, mode: mode}
+	c := &compiled{plan: plan, trace: ruleTrace, mode: mode}
 	if !cfg.noPlanCache {
 		db.plans.put(key, c)
 	}
@@ -578,15 +628,23 @@ func (db *Database) execute(ctx context.Context, c *compiled, cfg queryConfig) (
 		defer cancel()
 	}
 	ectx := db.execContext(ctx, cfg)
+	tb := cfg.traceBuilder
+	execSpan := tb.StartSpan("execute", 0)
 	start := time.Now()
 	res, err := exec.Run(c.plan, ectx)
 	elapsed := time.Since(start)
+	tb.EndSpan(execSpan)
 	db.reg.Counter("queries").Inc()
 	db.reg.Histogram("execute_latency").Observe(elapsed)
 	if err != nil {
-		return nil, db.classifyExecError(err)
+		err = db.classifyExecError(err)
+		attachOperatorSpans(tb, execSpan, c.plan, ectx.Prof)
+		db.finishTrace(tb, err)
+		return nil, err
 	}
 	db.recordExecMetrics(ectx.Counters)
+	attachOperatorSpans(tb, execSpan, c.plan, ectx.Prof)
+	db.finishTrace(tb, nil)
 
 	out := &Result{
 		Columns: make([]string, res.Schema.Len()),
@@ -594,6 +652,7 @@ func (db *Database) execute(ctx context.Context, c *compiled, cfg queryConfig) (
 		Elapsed: elapsed,
 		Stats:   statsOf(ectx.Counters),
 		Trace:   toTrace(c.trace),
+		TraceID: tb.ID(),
 		inner:   res,
 		prof:    ectx.Prof,
 	}

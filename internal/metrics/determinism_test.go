@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// populate builds a registry whose map iteration order is likely to
+// differ run to run: many counters, inserted in shuffled order.
+func populate(order []string) *Registry {
+	r := NewRegistry()
+	for i, n := range order {
+		r.Counter(n).Add(int64(i + 1))
+	}
+	r.Histogram("lat_a").Observe(3 * time.Millisecond)
+	r.Histogram("lat_b").Observe(30 * time.Millisecond)
+	return r
+}
+
+// TestSnapshotRenderingDeterministic pins the observability contract
+// that two registries with the same values render identically — text
+// and JSON — regardless of insertion (and hence map iteration) order.
+// Golden-file diffs and scrape consumers rely on it.
+func TestSnapshotRenderingDeterministic(t *testing.T) {
+	names := []string{
+		"queries", "server_queries", "plan_cache_hits", "apply_execs",
+		"spool_builds", "spool_hits", "groups", "rows_scanned",
+		"admission_waits", "server_errors_busy",
+	}
+	fwd := populate(names)
+	// rev holds the same values but registers everything in reverse
+	// order, so the two registries differ only in map insertion history.
+	rev := NewRegistry()
+	for i := len(names) - 1; i >= 0; i-- {
+		rev.Counter(names[i]).Add(int64(i + 1))
+	}
+	rev.Histogram("lat_b").Observe(30 * time.Millisecond)
+	rev.Histogram("lat_a").Observe(3 * time.Millisecond)
+
+	serve := func(r *Registry, format string) string {
+		req := httptest.NewRequest("GET", "/metrics"+format, nil)
+		rec := httptest.NewRecorder()
+		Handler(r).ServeHTTP(rec, req)
+		return rec.Body.String()
+	}
+	if a, b := serve(fwd, "?format=text"), serve(rev, "?format=text"); a != b {
+		t.Fatalf("text rendering depends on insertion order:\n%s\nvs\n%s", a, b)
+	}
+	if a, b := serve(fwd, ""), serve(rev, ""); a != b {
+		t.Fatalf("JSON rendering depends on insertion order:\n%s\nvs\n%s", a, b)
+	}
+
+	// The text rendering lists counters in sorted name order.
+	text := fwd.Snapshot().String()
+	var got []string
+	for _, line := range strings.Split(text, "\n") {
+		f := strings.Fields(line)
+		if len(f) == 2 && !strings.Contains(line, "<=") {
+			got = append(got, f[0])
+		}
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Fatalf("counter lines not sorted: %v", got)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"gapplydb"
 	"gapplydb/internal/metrics"
 	"gapplydb/internal/sql"
+	"gapplydb/internal/trace"
 	"gapplydb/internal/wire"
 )
 
@@ -38,6 +39,11 @@ type Config struct {
 	HandshakeTimeout time.Duration
 	// Banner is the server identification sent in the Welcome frame.
 	Banner string
+	// TraceSampling head-samples this fraction of queries that arrive
+	// without their own trace ID into the flight recorder (0 = only
+	// client-issued trace IDs are traced). Sessions override it with
+	// `Set trace_sampling`.
+	TraceSampling float64
 	// Registry receives the server_* metrics. Default: a fresh registry
 	// per server, so parallel servers (and parallel tests) never share
 	// counters.
@@ -77,10 +83,12 @@ func (c Config) withDefaults() Config {
 // Server serves gapplydb queries over the wire protocol. Create with
 // New, start with Serve or ListenAndServe, stop with Shutdown.
 type Server struct {
-	db  *gapplydb.Database
-	cfg Config
-	reg *metrics.Registry
-	adm *admission
+	db      *gapplydb.Database
+	cfg     Config
+	reg     *metrics.Registry
+	adm     *admission
+	sampler *trace.Sampler // head-sampling decisions for untagged queries
+	started time.Time      // process-visible uptime base for /healthz
 
 	mu       sync.Mutex
 	lis      net.Listener
@@ -96,14 +104,20 @@ type Server struct {
 func New(db *gapplydb.Database, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	return &Server{
-		db:  db,
-		cfg: cfg,
-		reg: cfg.Registry,
-		adm: newAdmission(cfg.MaxConcurrent, cfg.MaxQueued, cfg.Registry),
+		db:      db,
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		adm:     newAdmission(cfg.MaxConcurrent, cfg.MaxQueued, cfg.Registry),
+		sampler: trace.NewSampler(time.Now().UnixNano()),
+		started: time.Now(),
 
 		sessions: make(map[*session]struct{}),
 	}
 }
+
+// SeedTraceSampler reseeds the server's head-sampling decision stream —
+// deterministic sampling for tests and reproducible load runs.
+func (s *Server) SeedTraceSampler(seed int64) { s.sampler.Reseed(seed) }
 
 // Metrics snapshots the server's registry (the server_* counters plus
 // the admission-wait histogram).

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"gapplydb"
+	"gapplydb/internal/trace"
 	"gapplydb/internal/wire"
 	"gapplydb/xmlpub"
 )
@@ -26,6 +27,10 @@ type sessionOptions struct {
 	maxPartitionBytes int64
 	dop               int
 	explain           string // "", "plan", "analyze"
+	// traceSampling is the session's head-sampling probability for
+	// queries that do not carry their own trace ID; -1 means "use the
+	// server's configured default".
+	traceSampling float64
 }
 
 // session is one client connection: a read loop dispatching frames,
@@ -52,7 +57,7 @@ type session struct {
 
 func newSession(s *Server, conn net.Conn) *session {
 	ctx, cancel := context.WithCancel(context.Background())
-	return &session{
+	sess := &session{
 		srv: s, conn: conn,
 		br: bufio.NewReaderSize(conn, 64<<10),
 		bw: bufio.NewWriterSize(conn, 64<<10),
@@ -60,6 +65,8 @@ func newSession(s *Server, conn net.Conn) *session {
 		ctx: ctx, cancel: cancel,
 		inflight: make(map[uint64]context.CancelFunc),
 	}
+	sess.opts.traceSampling = -1 // inherit the server default
+	return sess
 }
 
 // writeFrame serializes one frame to the connection. Frames from
@@ -75,11 +82,17 @@ func (s *session) writeFrame(t wire.Type, payload []byte) error {
 }
 
 func (s *session) writeError(id uint64, code, msg string) error {
+	return s.writeErrorTraced(id, code, msg, trace.ID{})
+}
+
+// writeErrorTraced is writeError echoing the failed query's trace ID so
+// the client can still find the error's trace in the flight recorder.
+func (s *session) writeErrorTraced(id uint64, code, msg string, tid trace.ID) error {
 	// Per-code taxonomy counters: server_errors_cancelled, _timeout,
 	// _busy, … so operators (and the replay harness) can tell shedding
 	// from genuine failures without parsing logs.
 	s.srv.reg.Counter("server_errors_" + code).Inc()
-	m := wire.ErrorMsg{ID: id, Code: code, Message: msg}
+	m := wire.ErrorMsg{ID: id, Code: code, Message: msg, Trace: tid}
 	return s.writeFrame(wire.TypeError, m.Encode())
 }
 
@@ -229,6 +242,16 @@ func (s *session) setOption(name, value string) error {
 		default:
 			return fmt.Errorf("bad explain mode %q (off|plan|analyze)", value)
 		}
+	case "trace_sampling":
+		if strings.EqualFold(value, "default") {
+			s.opts.traceSampling = -1
+			return nil
+		}
+		p, err := strconv.ParseFloat(value, 64)
+		if err != nil || p < 0 || p > 1 {
+			return fmt.Errorf("bad trace_sampling %q (0..1 or \"default\")", value)
+		}
+		s.opts.traceSampling = p
 	default:
 		return fmt.Errorf("unknown session option %q", name)
 	}
@@ -354,43 +377,76 @@ const (
 	xmlChunkBytes = 32 << 10
 )
 
+// traceBuilder decides whether this submission is traced and, if so,
+// opens the trace before admission so the queue wait is a span. A
+// client-issued trace ID always traces; otherwise the session's (or
+// server's) head-sampling probability draws on the server's sampler.
+func (s *session) traceBuilder(m *wire.QueryMsg) *trace.Builder {
+	id := m.Trace
+	if id.IsZero() {
+		s.mu.Lock()
+		p := s.opts.traceSampling
+		s.mu.Unlock()
+		if p < 0 {
+			p = s.srv.cfg.TraceSampling
+		}
+		if !s.srv.sampler.Sample(p) {
+			return nil
+		}
+		id = trace.NewID()
+	}
+	return trace.NewBuilder(id, m.SQL)
+}
+
 // runQuery executes one admitted submission end to end: global
 // admission, engine stream, row-batch or XML streaming, completion or
 // error frame. It owns the query's admission slot.
 func (s *session) runQuery(ctx context.Context, m *wire.QueryMsg) {
+	tb := s.traceBuilder(m) // nil for untraced; all span calls no-op
+	tid := tb.ID()
+	admSpan := tb.StartSpan("admission", 0)
 	if err := s.srv.adm.acquire(ctx); err != nil {
+		tb.EndSpan(admSpan)
 		switch {
 		case errors.Is(err, errBusy):
-			s.writeError(m.ID, wire.CodeBusy, "too many concurrent queries; retry later")
+			s.writeErrorTraced(m.ID, wire.CodeBusy, "too many concurrent queries; retry later", tid)
 		case errors.Is(err, context.Canceled):
-			s.writeError(m.ID, wire.CodeCancelled, "cancelled while queued")
+			s.writeErrorTraced(m.ID, wire.CodeCancelled, "cancelled while queued", tid)
 		default:
-			s.writeError(m.ID, errorCode(err), err.Error())
+			s.writeErrorTraced(m.ID, errorCode(err), err.Error(), tid)
 		}
+		// The engine never saw this query, so the server records the
+		// admission-failure trace itself.
+		s.srv.db.Traces().Record(tb.Finish("error", err.Error()))
 		return
 	}
+	tb.EndSpan(admSpan)
 	defer s.srv.adm.release()
 	s.srv.reg.Counter("server_queries_active").Inc()
 	defer s.srv.reg.Counter("server_queries_active").Add(-1)
 
 	query, opts := s.effectiveOptions(m)
+	if tb != nil {
+		tb.SetQuery(query) // session explain mode may have prefixed it
+		opts = append(opts, gapplydb.WithTraceBuilder(tb))
+	}
 	stream, err := s.srv.db.StreamContext(ctx, query, opts...)
 	if err != nil {
 		s.srv.reg.Counter("server_query_errors").Inc()
-		s.writeError(m.ID, errorCode(err), err.Error())
+		s.writeErrorTraced(m.ID, errorCode(err), err.Error(), tid)
 		return
 	}
 	defer stream.Close()
 
 	if m.Opts.XML {
-		s.streamXML(m.ID, stream, m.Opts.TagPlan)
+		s.streamXML(m.ID, stream, m.Opts.TagPlan, tid)
 		return
 	}
-	s.streamRows(m.ID, stream)
+	s.streamRows(m.ID, stream, tid)
 }
 
 // streamRows sends the header, then row batches, then End (or Error).
-func (s *session) streamRows(id uint64, stream *gapplydb.Stream) {
+func (s *session) streamRows(id uint64, stream *gapplydb.Stream, tid trace.ID) {
 	h := wire.RowHeaderMsg{ID: id, Columns: stream.Columns}
 	if err := s.writeFrame(wire.TypeRowHeader, h.Encode()); err != nil {
 		return // connection gone; teardown cancels the stream
@@ -422,7 +478,7 @@ func (s *session) streamRows(id uint64, stream *gapplydb.Stream) {
 		row, ok, err := stream.Next()
 		if err != nil {
 			s.srv.reg.Counter("server_query_errors").Inc()
-			s.writeError(id, errorCode(err), err.Error())
+			s.writeErrorTraced(id, errorCode(err), err.Error(), tid)
 			return
 		}
 		if !ok {
@@ -440,16 +496,16 @@ func (s *session) streamRows(id uint64, stream *gapplydb.Stream) {
 	if err := flush(); err != nil {
 		return
 	}
-	end := wire.EndMsg{ID: id, Rows: total, Elapsed: stream.Elapsed(), Stats: statPairs(stream.Stats())}
+	end := wire.EndMsg{ID: id, Rows: total, Elapsed: stream.Elapsed(), Stats: statPairs(stream.Stats()), Trace: tid}
 	s.writeFrame(wire.TypeEnd, end.Encode())
 }
 
 // streamXML pipes the result through the constant-space tagger into
 // XMLChunk frames — the whole document never exists server-side.
-func (s *session) streamXML(id uint64, stream *gapplydb.Stream, planJSON []byte) {
+func (s *session) streamXML(id uint64, stream *gapplydb.Stream, planJSON []byte, tid trace.ID) {
 	var plan xmlpub.TagPlan
 	if err := json.Unmarshal(planJSON, &plan); err != nil {
-		s.writeError(id, wire.CodeProtocol, "bad tag plan: "+err.Error())
+		s.writeErrorTraced(id, wire.CodeProtocol, "bad tag plan: "+err.Error(), tid)
 		return
 	}
 	cw := &chunkWriter{sess: s, id: id}
@@ -458,7 +514,7 @@ func (s *session) streamXML(id uint64, stream *gapplydb.Stream, planJSON []byte)
 		row, ok, err := stream.Next()
 		if err != nil {
 			s.srv.reg.Counter("server_query_errors").Inc()
-			s.writeError(id, errorCode(err), err.Error())
+			s.writeErrorTraced(id, errorCode(err), err.Error(), tid)
 			return
 		}
 		if !ok {
@@ -481,7 +537,7 @@ func (s *session) streamXML(id uint64, stream *gapplydb.Stream, planJSON []byte)
 	if err := cw.flush(); err != nil {
 		return
 	}
-	end := wire.EndMsg{ID: id, Rows: cw.written, Elapsed: stream.Elapsed(), Stats: statPairs(stream.Stats())}
+	end := wire.EndMsg{ID: id, Rows: cw.written, Elapsed: stream.Elapsed(), Stats: statPairs(stream.Stats()), Trace: tid}
 	s.writeFrame(wire.TypeEnd, end.Encode())
 }
 

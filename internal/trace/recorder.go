@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Recorder is the flight recorder: a bounded sink that always retains
+// the recentN most recent completed traces and, independently, the
+// slowN slowest seen since start (by root-span duration). A trace can
+// be in both sets; Get searches both. The two retention policies serve
+// the two debugging questions — "what just happened" and "what was ever
+// pathologically slow" — without unbounded memory.
+type Recorder struct {
+	mu      sync.Mutex
+	recentN int
+	slowN   int
+	recent  []*Trace // ring, oldest first
+	slow    []*Trace // unordered; evict current minimum when full
+}
+
+// NewRecorder sizes the flight recorder. Non-positive sizes disable the
+// corresponding retention set.
+func NewRecorder(recentN, slowN int) *Recorder {
+	if recentN < 0 {
+		recentN = 0
+	}
+	if slowN < 0 {
+		slowN = 0
+	}
+	return &Recorder{recentN: recentN, slowN: slowN}
+}
+
+// Record adds a completed trace. Nil traces (from a double Finish or a
+// nil builder) are ignored.
+func (r *Recorder) Record(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.recentN > 0 {
+		r.recent = append(r.recent, t)
+		if len(r.recent) > r.recentN {
+			r.recent = r.recent[1:]
+		}
+	}
+	if r.slowN > 0 {
+		if len(r.slow) < r.slowN {
+			r.slow = append(r.slow, t)
+		} else {
+			min := 0
+			for i := 1; i < len(r.slow); i++ {
+				if r.slow[i].Dur < r.slow[min].Dur {
+					min = i
+				}
+			}
+			if t.Dur > r.slow[min].Dur {
+				r.slow[min] = t
+			}
+		}
+	}
+}
+
+// Recent returns summaries of the retained most-recent traces, newest
+// first.
+func (r *Recorder) Recent() []Summary {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Summary, 0, len(r.recent))
+	for i := len(r.recent) - 1; i >= 0; i-- {
+		out = append(out, r.recent[i].Summarize())
+	}
+	return out
+}
+
+// Slowest returns summaries of the retained slowest traces, slowest
+// first.
+func (r *Recorder) Slowest() []Summary {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Summary, 0, len(r.slow))
+	for _, t := range r.slow {
+		out = append(out, t.Summarize())
+	}
+	r.mu.Unlock()
+	SortSummaries(out)
+	return out
+}
+
+// Get returns the retained trace with the given ID, or nil. The most
+// recent occurrence wins if the ID is in both sets.
+func (r *Recorder) Get(id ID) *Trace {
+	if r == nil || id.IsZero() {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := len(r.recent) - 1; i >= 0; i-- {
+		if r.recent[i].ID == id {
+			return r.recent[i]
+		}
+	}
+	for _, t := range r.slow {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// Last returns the most recently recorded trace, or nil.
+func (r *Recorder) Last() *Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.recent) == 0 {
+		return nil
+	}
+	return r.recent[len(r.recent)-1]
+}
+
+// Sampler makes head-sampling decisions. It is a seeded PRNG behind a
+// mutex so decisions are concurrency-safe and, with a fixed seed and a
+// serial decision order, deterministic — which is what the sampling
+// tests pin.
+type Sampler struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewSampler returns a sampler seeded for reproducible decisions.
+func NewSampler(seed int64) *Sampler {
+	return &Sampler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Sample reports whether a query should be traced at probability p.
+// p <= 0 never samples; p >= 1 always does (without consuming
+// randomness, so a forced-on stretch doesn't perturb the stream).
+func (s *Sampler) Sample(p float64) bool {
+	if s == nil || p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	s.mu.Lock()
+	v := s.rng.Float64()
+	s.mu.Unlock()
+	return v < p
+}
+
+// Reseed resets the decision stream — test hook for determinism.
+func (s *Sampler) Reseed(seed int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.rng = rand.New(rand.NewSource(seed))
+	s.mu.Unlock()
+}

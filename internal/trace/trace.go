@@ -1,0 +1,245 @@
+// Package trace is the engine's end-to-end query tracer: one Trace per
+// traced query, made of phase spans (admission wait, parse, bind,
+// optimize, plan-cache lookup, execution) and per-operator spans derived
+// from the executor's profile.
+//
+// The design is deliberately minimal and dependency-free so every layer
+// can use it: a 16-byte ID travels on the wire (client-issued or
+// server-minted) and is echoed on completion frames, a Builder
+// accumulates spans while the query runs, and completed traces land in a
+// Recorder — a bounded flight recorder that always retains the N slowest
+// and the N most recent traces, queryable by ID and exportable as Chrome
+// trace_event JSON for chrome://tracing.
+//
+// Tracing is strictly opt-in per query (forced, or head-sampled with a
+// probability); an untraced query pays a nil check and nothing else.
+package trace
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ID identifies one trace: 16 random bytes, rendered as 32 hex digits.
+// The zero ID means "not traced" everywhere it appears.
+type ID [16]byte
+
+// NewID mints a random trace ID. It never returns the zero ID.
+func NewID() ID {
+	var id ID
+	for id.IsZero() {
+		if _, err := rand.Read(id[:]); err != nil {
+			// crypto/rand never fails on supported platforms; if it somehow
+			// does, a time-derived ID keeps tracing usable.
+			now := time.Now().UnixNano()
+			for i := 0; i < 8; i++ {
+				id[i] = byte(now >> (8 * i))
+			}
+		}
+	}
+	return id
+}
+
+// IsZero reports whether the ID is the zero ("untraced") ID.
+func (id ID) IsZero() bool { return id == ID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (id ID) String() string { return hex.EncodeToString(id[:]) }
+
+// MarshalText makes IDs render as hex in JSON.
+func (id ID) MarshalText() ([]byte, error) { return []byte(id.String()), nil }
+
+// UnmarshalText parses the hex rendering.
+func (id *ID) UnmarshalText(b []byte) error {
+	parsed, err := ParseID(string(b))
+	if err != nil {
+		return err
+	}
+	*id = parsed
+	return nil
+}
+
+// ParseID parses the 32-hex-digit rendering back into an ID.
+func ParseID(s string) (ID, error) {
+	var id ID
+	b, err := hex.DecodeString(strings.TrimSpace(s))
+	if err != nil || len(b) != len(id) {
+		return ID{}, fmt.Errorf("trace: bad trace id %q", s)
+	}
+	copy(id[:], b)
+	return id, nil
+}
+
+// Attr is one key/value annotation on a span (row counts, cache
+// verdicts, rule names). A slice, not a map, so renderings are
+// deterministic.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one timed region of a trace. Start is the offset from the
+// trace's begin time; Parent indexes the enclosing span in the trace's
+// Spans slice (-1 for the root). Operator spans synthesized from the
+// executor's profile inherit their parent's Start and carry the
+// operator's inclusive time as Dur — under parallel GApply the workers'
+// times sum, so an operator span may be longer than its parent.
+type Span struct {
+	Name   string        `json:"name"`
+	Parent int           `json:"parent"`
+	Start  time.Duration `json:"start_ns"`
+	Dur    time.Duration `json:"dur_ns"`
+	Attrs  []Attr        `json:"attrs,omitempty"`
+}
+
+// Trace is one completed traced query.
+type Trace struct {
+	ID       ID        `json:"id"`
+	Query    string    `json:"query"`
+	PlanHash string    `json:"plan_hash,omitempty"`
+	Started  time.Time `json:"started"`
+	// Dur is the root span's duration: the whole request, admission wait
+	// and compile included.
+	Dur    time.Duration `json:"dur_ns"`
+	Status string        `json:"status"` // "ok" or "error"
+	Error  string        `json:"error,omitempty"`
+	Spans  []Span        `json:"spans"`
+}
+
+// Summary is the flight recorder's listing form of a trace.
+type Summary struct {
+	ID       ID      `json:"id"`
+	Query    string  `json:"query"`
+	PlanHash string  `json:"plan_hash,omitempty"`
+	Started  string  `json:"started"`
+	DurMS    float64 `json:"dur_ms"`
+	Status   string  `json:"status"`
+	Spans    int     `json:"spans"`
+}
+
+// Summarize reduces the trace to its listing form.
+func (t *Trace) Summarize() Summary {
+	q := t.Query
+	if len(q) > 120 {
+		q = q[:117] + "..."
+	}
+	return Summary{
+		ID: t.ID, Query: q, PlanHash: t.PlanHash,
+		Started: t.Started.UTC().Format(time.RFC3339Nano),
+		DurMS:   float64(t.Dur) / float64(time.Millisecond),
+		Status:  t.Status, Spans: len(t.Spans),
+	}
+}
+
+// String renders the trace as an indented span tree with durations and
+// attributes — the gsql \trace rendering.
+func (t *Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s  %s  %s\n", t.ID, t.Dur.Round(time.Microsecond), t.Status)
+	fmt.Fprintf(&b, "query: %s\n", strings.TrimSpace(t.Query))
+	if t.PlanHash != "" {
+		fmt.Fprintf(&b, "plan hash: %s\n", t.PlanHash)
+	}
+	if t.Error != "" {
+		fmt.Fprintf(&b, "error: %s\n", t.Error)
+	}
+	children := make(map[int][]int, len(t.Spans))
+	for i, s := range t.Spans {
+		if i == 0 {
+			continue
+		}
+		children[s.Parent] = append(children[s.Parent], i)
+	}
+	var render func(i, depth int)
+	render = func(i, depth int) {
+		s := t.Spans[i]
+		fmt.Fprintf(&b, "%s%s  +%s %s", strings.Repeat("  ", depth), s.Name,
+			s.Start.Round(time.Microsecond), s.Dur.Round(time.Microsecond))
+		for _, a := range s.Attrs {
+			fmt.Fprintf(&b, " %s=%s", a.Key, a.Value)
+		}
+		b.WriteByte('\n')
+		for _, c := range children[i] {
+			render(c, depth+1)
+		}
+	}
+	if len(t.Spans) > 0 {
+		render(0, 0)
+	}
+	return b.String()
+}
+
+// chromeEvent is one Chrome trace_event ("X" = complete event). The
+// format is the Trace Event Format chrome://tracing and Perfetto load.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// ChromeJSON exports the trace in Chrome trace_event JSON ("traceEvents"
+// array of complete events), loadable by chrome://tracing and Perfetto.
+// Sibling operator spans are fanned out across tids by depth so nested
+// inclusive times render as a flame graph rather than overlapping.
+func (t *Trace) ChromeJSON() ([]byte, error) {
+	events := make([]chromeEvent, 0, len(t.Spans))
+	for _, s := range t.Spans {
+		ev := chromeEvent{
+			Name: s.Name, Ph: "X",
+			Ts:  float64(s.Start) / float64(time.Microsecond),
+			Dur: float64(s.Dur) / float64(time.Microsecond),
+			Pid: 1, Tid: 1,
+		}
+		if len(s.Attrs) > 0 {
+			ev.Args = make(map[string]string, len(s.Attrs))
+			for _, a := range s.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		events = append(events, ev)
+	}
+	doc := struct {
+		TraceEvents []chromeEvent     `json:"traceEvents"`
+		Metadata    map[string]string `json:"metadata"`
+	}{
+		TraceEvents: events,
+		Metadata: map[string]string{
+			"trace_id": t.ID.String(),
+			"query":    t.Query,
+			"status":   t.Status,
+		},
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// Find returns the indexes of the spans with the given name, in span
+// order — a test and tooling helper.
+func (t *Trace) Find(name string) []int {
+	var out []int
+	for i, s := range t.Spans {
+		if s.Name == name {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SortSummaries orders summaries by duration, slowest first (ties by
+// ID, for determinism).
+func SortSummaries(s []Summary) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].DurMS != s[j].DurMS {
+			return s[i].DurMS > s[j].DurMS
+		}
+		return s[i].ID.String() < s[j].ID.String()
+	})
+}

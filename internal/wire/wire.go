@@ -31,6 +31,8 @@ import (
 	"io"
 	"math"
 	"time"
+
+	"gapplydb/internal/trace"
 )
 
 // ProtocolVersion is bumped on any incompatible change; the handshake
@@ -170,6 +172,16 @@ type Dec struct {
 
 // Err returns the first decode error.
 func (d *Dec) Err() error { return d.err }
+
+// Remaining reports how many payload bytes are left unread (0 after an
+// error). Optional trailing message fields check it before decoding, so
+// frames from an older peer — which simply end earlier — parse cleanly.
+func (d *Dec) Remaining() int {
+	if d.err != nil {
+		return 0
+	}
+	return len(d.B) - d.off
+}
 
 func (d *Dec) take(n int) []byte {
 	if d.err != nil {
@@ -317,6 +329,36 @@ type QueryMsg struct {
 	ID   uint64
 	SQL  string
 	Opts QueryOptions
+	// Trace is the client-issued trace ID (zero = untraced / let the
+	// server decide). It travels as an optional trailing field: old
+	// clients simply omit it and old servers ignore it, in both
+	// directions, because decoders never require the payload to be
+	// fully consumed.
+	Trace trace.ID
+}
+
+// putTraceID appends the optional trailing trace-ID field: a presence
+// byte followed by the 16 raw ID bytes. A zero ID appends nothing, so
+// frames to/from peers that predate tracing are byte-identical.
+func putTraceID(e *Enc, id trace.ID) {
+	if id.IsZero() {
+		return
+	}
+	e.U8(1)
+	e.B = append(e.B, id[:]...)
+}
+
+// traceID reads the optional trailing trace-ID field, returning the
+// zero ID when the payload ends first (an older peer).
+func (d *Dec) traceID() trace.ID {
+	var id trace.ID
+	if d.Remaining() == 0 {
+		return id
+	}
+	if d.U8() == 1 {
+		copy(id[:], d.take(len(id)))
+	}
+	return id
 }
 
 // Encode serializes the message as a TypeQuery payload.
@@ -334,6 +376,7 @@ func (m *QueryMsg) Encode() []byte {
 		e.U8(0)
 	}
 	e.Bytes(m.Opts.TagPlan)
+	putTraceID(&e, m.Trace)
 	return e.B
 }
 
@@ -349,6 +392,7 @@ func DecodeQuery(p []byte) (*QueryMsg, error) {
 	if b := d.BytesRef(); len(b) > 0 {
 		m.Opts.TagPlan = append([]byte(nil), b...)
 	}
+	m.Trace = d.traceID()
 	return m, d.Err()
 }
 
@@ -479,6 +523,9 @@ type EndMsg struct {
 	Rows    int64
 	Elapsed time.Duration
 	Stats   []StatPair
+	// Trace echoes the query's trace ID (client-issued or server-minted;
+	// zero = the query was not traced). Optional trailing field.
+	Trace trace.ID
 }
 
 // StatPair is one named counter in an EndMsg.
@@ -498,6 +545,7 @@ func (m *EndMsg) Encode() []byte {
 		e.Str(s.Name)
 		e.I64(s.Value)
 	}
+	putTraceID(&e, m.Trace)
 	return e.B
 }
 
@@ -509,6 +557,7 @@ func DecodeEnd(p []byte) (*EndMsg, error) {
 	for i := uint32(0); i < n && d.Err() == nil; i++ {
 		m.Stats = append(m.Stats, StatPair{Name: d.Str(), Value: d.I64()})
 	}
+	m.Trace = d.traceID()
 	return m, d.Err()
 }
 
@@ -532,6 +581,10 @@ type ErrorMsg struct {
 	ID      uint64
 	Code    string
 	Message string
+	// Trace echoes the failed query's trace ID when it was traced, so an
+	// error can still be attributed in the flight recorder. Optional
+	// trailing field.
+	Trace trace.ID
 }
 
 // Encode serializes the error.
@@ -540,6 +593,7 @@ func (m *ErrorMsg) Encode() []byte {
 	e.U64(m.ID)
 	e.Str(m.Code)
 	e.Str(m.Message)
+	putTraceID(&e, m.Trace)
 	return e.B
 }
 
@@ -547,6 +601,7 @@ func (m *ErrorMsg) Encode() []byte {
 func DecodeError(p []byte) (*ErrorMsg, error) {
 	d := Dec{B: p}
 	m := &ErrorMsg{ID: d.U64(), Code: d.Str(), Message: d.Str()}
+	m.Trace = d.traceID()
 	return m, d.Err()
 }
 

@@ -122,6 +122,7 @@ func (e *Explanation) planResult() *Result {
 	if e.Result != nil {
 		out.Elapsed = e.Result.Elapsed
 		out.Stats = e.Result.Stats
+		out.TraceID = e.Result.TraceID
 	}
 	for i, l := range lines {
 		out.Rows[i] = []any{l}
@@ -165,11 +166,14 @@ func (db *Database) ExplainAnalyzeContext(ctx context.Context, query string, opt
 	}
 	defer release()
 	cfg := makeConfig(options)
+	tb := db.traceSetup(&cfg, query)
 	c, hit, err := db.compile(query, cfg)
 	if err != nil {
+		db.finishTrace(tb, err)
 		return nil, err
 	}
 	cfg.planCacheHit = hit
+	// The analyzed execution finishes and records the trace.
 	return db.explainCompiled(ctx, c, cfg, true)
 }
 

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -35,6 +36,15 @@ type DriverConfig struct {
 	// scrapes admission counters around the load phase and asserts the
 	// manifest's queued/rejected bounds against the deltas.
 	MetricsURL string
+	// Trace runs the conformance pass with a client-issued trace ID per
+	// execution and asserts the server echoes it on the terminating
+	// frame. Goldens are still compared byte-exactly — tracing must not
+	// perturb results.
+	Trace bool
+	// TracesURL, when set with Trace, is the server's /debug/traces
+	// endpoint; after conformance the driver fetches the slowest
+	// successful run's Chrome trace into Report.SlowestTrace.
+	TracesURL string
 	// Logf receives progress lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -106,6 +116,9 @@ func Run(ctx context.Context, c *Corpus, cfg DriverConfig) (*Report, error) {
 		return rep, err
 	}
 	cfg.logf("conformance: %d runs, %d assertions", len(rep.Conformance), len(rep.Asserts))
+	if cfg.Trace {
+		captureSlowestTrace(&cfg, rep)
+	}
 
 	if cfg.Duration > 0 {
 		if err := runLoad(ctx, c, &cfg, rep); err != nil {
@@ -178,17 +191,34 @@ func runConformance(ctx context.Context, conn *client.Conn, c *Corpus, cfg *Driv
 			tag := fmt.Sprintf("%s@dop=%d", q.Name, eff)
 			var runs [2]*Outcome
 			for i := range runs {
-				out, err := RunRemote(ctx, conn, q, dop)
+				var out *Outcome
+				var err error
+				if cfg.Trace {
+					id := client.NewTraceID()
+					out, err = RunRemoteTraced(ctx, conn, q, dop, id)
+					if err == nil {
+						// The round-trip criterion: whatever frame terminates the
+						// query — End or Error — must echo the issued ID.
+						assert(fmt.Sprintf("%s/run%d/trace_echo", tag, i+1), out.TraceID == id,
+							"terminating frame echoed trace %s, want %s", out.TraceID, id)
+					}
+				} else {
+					out, err = RunRemote(ctx, conn, q, dop)
+				}
 				if err != nil {
 					return fmt.Errorf("replay: %s run %d: %w", tag, i+1, err)
 				}
 				runs[i] = out
-				rep.Conformance = append(rep.Conformance, ConformanceRun{
+				cr := ConformanceRun{
 					Query: q.Name, DOP: eff, Run: i + 1, Code: out.Code,
 					Rows: out.Rows, ElapsedMS: ms(out.Elapsed),
 					SpoolBuilds: out.Stats.SpoolBuilds, SpoolHits: out.Stats.SpoolHits,
 					PlanCacheHit: out.Stats.PlanCacheHits > 0,
-				})
+				}
+				if !out.TraceID.IsZero() {
+					cr.TraceID = out.TraceID.String()
+				}
+				rep.Conformance = append(rep.Conformance, cr)
 			}
 			for i, out := range runs {
 				rtag := fmt.Sprintf("%s/run%d", tag, i+1)
@@ -229,6 +259,52 @@ func runConformance(ctx context.Context, conn *client.Conn, c *Corpus, cfg *Driv
 		}
 	}
 	return nil
+}
+
+// captureSlowestTrace finds the slowest successful traced conformance
+// run and, when TracesURL is set, pulls its Chrome export from the
+// server's flight recorder into the report. A fetch failure is logged,
+// not fatal: the trace may legitimately have been evicted under churn.
+func captureSlowestTrace(cfg *DriverConfig, rep *Report) {
+	var slow *ConformanceRun
+	for i := range rep.Conformance {
+		cr := &rep.Conformance[i]
+		if cr.Code != "" || cr.TraceID == "" {
+			continue
+		}
+		if slow == nil || cr.ElapsedMS > slow.ElapsedMS {
+			slow = cr
+		}
+	}
+	if slow == nil {
+		return
+	}
+	rep.SlowestTrace = &SlowestTrace{
+		Query: slow.Query, DOP: slow.DOP, TraceID: slow.TraceID, ElapsedMS: slow.ElapsedMS,
+	}
+	if cfg.TracesURL == "" {
+		return
+	}
+	url := strings.TrimRight(cfg.TracesURL, "/") + "/" + slow.TraceID + "?format=chrome"
+	cl := http.Client{Timeout: 5 * time.Second}
+	resp, err := cl.Get(url)
+	if err != nil {
+		cfg.logf("slowest trace: fetch %s: %v", url, err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		cfg.logf("slowest trace: fetch %s: HTTP %d", url, resp.StatusCode)
+		return
+	}
+	var chrome json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&chrome); err != nil {
+		cfg.logf("slowest trace: %s: %v", url, err)
+		return
+	}
+	rep.SlowestTrace.Chrome = chrome
+	cfg.logf("slowest trace: %s (%s@dop=%d, %.2fms), chrome export %d bytes",
+		slow.TraceID, slow.Query, slow.DOP, slow.ElapsedMS, len(chrome))
 }
 
 // assertOK is assert + a usable boolean for gating dependent checks.

@@ -33,6 +33,9 @@ type Outcome struct {
 	// Elapsed is the caller-observed wall time for the whole execution,
 	// stream drain included.
 	Elapsed time.Duration
+	// TraceID identifies the execution's server-side trace (zero when
+	// untraced). Remote runs populate it from the End/Error frame echo.
+	TraceID gapplydb.TraceID
 }
 
 // RenderRows renders a result deterministically: a header line with the
@@ -125,7 +128,19 @@ func RunLocal(ctx context.Context, db *gapplydb.Database, q *Query, dop int) (*O
 // connection at the given degree of parallelism, honoring the query's
 // timeout/budget options and its cancel-after-rows protocol.
 func RunRemote(ctx context.Context, conn *client.Conn, q *Query, dop int) (*Outcome, error) {
-	var opts []client.QueryOption
+	return runRemote(ctx, conn, q, dop, nil)
+}
+
+// RunRemoteTraced is RunRemote with a client-issued trace ID: the
+// server traces the whole request path under id and echoes it on the
+// terminating frame, which lands in Outcome.TraceID — so a conformance
+// run can assert the wire round-trip and then pull the full trace from
+// the server's /debug/traces.
+func RunRemoteTraced(ctx context.Context, conn *client.Conn, q *Query, dop int, id gapplydb.TraceID) (*Outcome, error) {
+	return runRemote(ctx, conn, q, dop, []client.QueryOption{client.WithTraceID(id)})
+}
+
+func runRemote(ctx context.Context, conn *client.Conn, q *Query, dop int, opts []client.QueryOption) (*Outcome, error) {
 	if d := q.effectiveDOP(dop); d > 0 {
 		opts = append(opts, client.WithDOP(d))
 	}
@@ -144,7 +159,8 @@ func RunRemote(ctx context.Context, conn *client.Conn, q *Query, dop int) (*Outc
 			return remoteFailure(err, start)
 		}
 		return &Outcome{
-			Rendered: doc.Bytes(), Rows: st.Rows, Stats: st.Exec, Elapsed: time.Since(start),
+			Rendered: doc.Bytes(), Rows: st.Rows, Stats: st.Exec,
+			Elapsed: time.Since(start), TraceID: st.TraceID,
 		}, nil
 	}
 
@@ -180,7 +196,7 @@ func RunRemote(ctx context.Context, conn *client.Conn, q *Query, dop int) (*Outc
 		}
 		got = append(got, row)
 	}
-	out := &Outcome{Rows: n, Stats: rows.Stats().Exec, Elapsed: time.Since(start)}
+	out := &Outcome{Rows: n, Stats: rows.Stats().Exec, Elapsed: time.Since(start), TraceID: rows.Stats().TraceID}
 	if q.CancelAfterRows == 0 {
 		out.Rendered = RenderRows(rows.Columns, got)
 	}
@@ -193,7 +209,7 @@ func RunRemote(ctx context.Context, conn *client.Conn, q *Query, dop int) (*Outc
 func remoteFailure(err error, start time.Time) (*Outcome, error) {
 	var se *client.ServerError
 	if errors.As(err, &se) {
-		return &Outcome{Code: se.Code, Err: err, Elapsed: time.Since(start)}, nil
+		return &Outcome{Code: se.Code, Err: err, Elapsed: time.Since(start), TraceID: se.TraceID}, nil
 	}
 	return nil, err
 }

@@ -2,6 +2,7 @@ package replay
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 
 	"gapplydb/internal/metrics"
@@ -20,6 +21,31 @@ type Report struct {
 	Conformance []ConformanceRun `json:"conformance"`
 	Load        *LoadReport      `json:"load,omitempty"`
 	Asserts     []Assertion      `json:"asserts"`
+
+	// SlowestTrace is the slowest successful conformance run's full
+	// server-side trace, fetched from /debug/traces when the driver runs
+	// with tracing on and a TracesURL — the flight-recorder artifact CI
+	// uploads so a slow conformance pass ships its own timeline.
+	SlowestTrace *SlowestTrace `json:"slowest_trace,omitempty"`
+}
+
+// SlowestTrace names the worst conformance run and carries its Chrome
+// trace_event export (loadable in chrome://tracing or Perfetto).
+type SlowestTrace struct {
+	Query     string          `json:"query"`
+	DOP       int             `json:"dop"`
+	TraceID   string          `json:"trace_id"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+	Chrome    json.RawMessage `json:"chrome,omitempty"`
+}
+
+// WriteChrome persists the slowest trace's Chrome JSON on its own (the
+// TRACE_*.json artifact); a nil receiver or absent export is an error.
+func (s *SlowestTrace) WriteChrome(path string) error {
+	if s == nil || len(s.Chrome) == 0 {
+		return fmt.Errorf("replay: no chrome trace captured (need -trace and -traces-http against a reachable server)")
+	}
+	return os.WriteFile(path, append([]byte(s.Chrome), '\n'), 0o644)
 }
 
 // ConformanceRun is one execution of the sequential conformance pass.
@@ -33,6 +59,7 @@ type ConformanceRun struct {
 	SpoolBuilds  int64   `json:"spool_builds,omitempty"`
 	SpoolHits    int64   `json:"spool_hits,omitempty"`
 	PlanCacheHit bool    `json:"plan_cache_hit"`
+	TraceID      string  `json:"trace_id,omitempty"`
 }
 
 // Assertion is one checked expectation, from the manifest or built in.

@@ -4,6 +4,10 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -19,7 +23,7 @@ import (
 // goldens trustworthy for the standalone replay driver: any divergence
 // between engine, server, client, or corpus shows up here first.
 
-func startCorpusServer(t *testing.T) *client.Conn {
+func startCorpusServer(t *testing.T) (*server.Server, *client.Conn) {
 	t.Helper()
 	srv := server.New(integDatabase(t), server.Config{})
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
@@ -46,7 +50,7 @@ func startCorpusServer(t *testing.T) *client.Conn {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { conn.Close() })
-	return conn
+	return srv, conn
 }
 
 func TestReplayCorpusDifferential(t *testing.T) {
@@ -55,7 +59,7 @@ func TestReplayCorpusDifferential(t *testing.T) {
 		t.Fatal(err)
 	}
 	db := integDatabase(t)
-	conn := startCorpusServer(t)
+	_, conn := startCorpusServer(t)
 	ctx := context.Background()
 
 	for _, q := range c.Queries {
@@ -113,5 +117,88 @@ func TestReplayCorpusDifferential(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestReplayTracedConformance pins two acceptance criteria at once:
+// the corpus goldens stay byte-identical with tracing forced on (at
+// every matrix degree — tracing must not perturb results), and the
+// full traced driver run echoes every issued trace ID and captures the
+// slowest conformance trace's Chrome export through /debug/traces.
+func TestReplayTracedConformance(t *testing.T) {
+	c, err := replay.Load("testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, conn := startCorpusServer(t)
+	ctx := context.Background()
+
+	// Byte-identity, traced vs untraced, per query per degree.
+	for _, q := range c.Queries {
+		if !q.Expect.Golden {
+			continue
+		}
+		for _, dop := range c.Workload.Dops {
+			if q.DOP > 0 && dop != c.Workload.Dops[0] {
+				continue
+			}
+			plain, err := replay.RunRemote(ctx, conn, q, dop)
+			if err != nil {
+				t.Fatal(err)
+			}
+			id := client.NewTraceID()
+			traced, err := replay.RunRemoteTraced(ctx, conn, q, dop, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if traced.TraceID != id {
+				t.Fatalf("%s@dop=%d: echoed trace %s, want %s", q.Name, dop, traced.TraceID, id)
+			}
+			if err := replay.DiffRendered(traced.Rendered, plain.Rendered); err != nil {
+				t.Fatalf("%s@dop=%d: tracing changed the output: %v", q.Name, dop, err)
+			}
+			want, err := c.Golden(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := replay.DiffRendered(traced.Rendered, want); err != nil {
+				t.Fatalf("%s@dop=%d: traced output vs golden: %v", q.Name, dop, err)
+			}
+		}
+	}
+
+	// The full driver with tracing on: every assertion (goldens, error
+	// taxonomy, trace echo) holds, and the slowest trace is exported.
+	ts := httptest.NewServer(srv.HTTPHandler())
+	defer ts.Close()
+	rep, err := replay.Run(ctx, c, replay.DriverConfig{
+		Addr:      srv.Addr().String(),
+		Trace:     true,
+		TracesURL: ts.URL + "/debug/traces",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed {
+		t.Fatal("traced conformance run did not pass")
+	}
+	for _, cr := range rep.Conformance {
+		if cr.TraceID == "" {
+			t.Fatalf("conformance run %s@dop=%d run %d has no trace id", cr.Query, cr.DOP, cr.Run)
+		}
+	}
+	st := rep.SlowestTrace
+	if st == nil || st.TraceID == "" || len(st.Chrome) == 0 {
+		t.Fatalf("slowest trace not captured: %+v", st)
+	}
+	if !strings.Contains(string(st.Chrome), "traceEvents") {
+		t.Fatalf("chrome export malformed: %.120s", st.Chrome)
+	}
+	path := filepath.Join(t.TempDir(), "TRACE_7.json")
+	if err := st.WriteChrome(path); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := os.ReadFile(path); err != nil || !strings.Contains(string(data), "traceEvents") {
+		t.Fatalf("trace artifact: err=%v", err)
 	}
 }

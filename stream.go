@@ -4,8 +4,10 @@ import (
 	"context"
 	"time"
 
+	"gapplydb/internal/core"
 	"gapplydb/internal/exec"
 	"gapplydb/internal/sql"
+	"gapplydb/internal/trace"
 )
 
 // Stream is an incrementally consumed query result: the rows of Query,
@@ -35,6 +37,13 @@ type Stream struct {
 	elapsed time.Duration
 	done    bool
 	err     error
+
+	// Tracing: the builder spanning this query (nil when untraced), the
+	// open execute span it finishes, and the plan operator spans are
+	// reconstructed from at finish.
+	tb       *trace.Builder
+	execSpan int
+	plan     core.Node
 }
 
 // Stream is StreamContext under context.Background().
@@ -55,8 +64,10 @@ func (db *Database) StreamContext(ctx context.Context, query string, options ...
 		return nil, err
 	}
 	cfg := makeConfig(options)
+	tb := db.traceSetup(&cfg, query)
 	c, hit, err := db.compile(query, cfg)
 	if err != nil {
+		db.finishTrace(tb, err)
 		release()
 		return nil, err
 	}
@@ -64,14 +75,17 @@ func (db *Database) StreamContext(ctx context.Context, query string, options ...
 	if c.mode != sql.ExplainNone {
 		e, err := db.explainCompiled(ctx, c, cfg, c.mode == sql.ExplainAnalyze)
 		if err != nil {
+			db.finishTrace(tb, err) // no-op if the analyzed execution finished it
 			release()
 			return nil, err
 		}
+		db.finishTrace(tb, nil) // plain EXPLAIN never reaches execute
 		res := e.planResult()
 		release()
 		return &Stream{
 			Columns: res.Columns, rows: res.Rows,
 			stats: res.Stats, elapsed: res.Elapsed,
+			tb: tb,
 		}, nil
 	}
 
@@ -82,17 +96,23 @@ func (db *Database) StreamContext(ctx context.Context, query string, options ...
 		ctx, stop = inner, func() { cancel(); outerStop() }
 	}
 	ectx := db.execContext(ctx, cfg)
+	execSpan := tb.StartSpan("execute", 0)
 	cur, err := exec.Start(c.plan, ectx)
 	if err != nil {
 		stop()
 		release()
 		db.reg.Counter("queries").Inc()
-		return nil, db.classifyExecError(err)
+		err = db.classifyExecError(err)
+		tb.EndSpan(execSpan)
+		attachOperatorSpans(tb, execSpan, c.plan, ectx.Prof)
+		db.finishTrace(tb, err)
+		return nil, err
 	}
 	s := &Stream{
 		Columns: make([]string, cur.Schema.Len()),
 		db:      db, cur: cur, ectx: ectx,
 		stop: stop, release: release, start: time.Now(),
+		tb: tb, execSpan: execSpan, plan: c.plan,
 	}
 	for i, col := range cur.Schema.Cols {
 		s.Columns[i] = col.QualifiedName()
@@ -149,6 +169,9 @@ func (s *Stream) finish(err error) {
 		s.db.recordExecMetrics(s.ectx.Counters)
 		s.stats = statsOf(s.ectx.Counters)
 	}
+	s.tb.EndSpan(s.execSpan)
+	attachOperatorSpans(s.tb, s.execSpan, s.plan, s.ectx.Prof)
+	s.db.finishTrace(s.tb, s.err)
 	s.stop()
 	s.release()
 }
@@ -173,3 +196,8 @@ func (s *Stream) Stats() ExecStats { return s.stats }
 
 // Elapsed is the wall time from Start to exhaustion (or Close).
 func (s *Stream) Elapsed() time.Duration { return s.elapsed }
+
+// TraceID identifies this query's end-to-end trace in the flight
+// recorder; zero when the query is not traced. Valid from StreamContext
+// return (the ID is assigned before execution starts).
+func (s *Stream) TraceID() TraceID { return s.tb.ID() }
