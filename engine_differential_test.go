@@ -1,0 +1,112 @@
+package gapplydb_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"gapplydb"
+	"gapplydb/experiments"
+	"gapplydb/replay"
+)
+
+// The engine differential pins the batch engine to its oracle: the
+// row-at-a-time engine (selected via WithRowExecution) and the default
+// vectorized engine must produce byte-identical ordered output for the
+// whole evaluation workload and the whole replay corpus, at serial and
+// parallel degrees, with the same group/spool accounting and the same
+// failure taxonomy. Any batch-engine bug that changes results, order,
+// NULL handling, budget enforcement or spool reuse shows up here.
+
+func TestEngineDifferentialSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential battery skipped in -short mode")
+	}
+	db := integDatabase(t)
+	for _, sq := range experiments.SuiteQueries() {
+		sq := sq
+		t.Run(sq.Name, func(t *testing.T) {
+			for _, dop := range []int{1, 2, 8} {
+				row, err := db.Query(sq.SQL, gapplydb.WithDOP(dop), gapplydb.WithRowExecution())
+				if err != nil {
+					t.Fatalf("row engine dop %d: %v\n%s", dop, err, sq.SQL)
+				}
+				batch, err := db.Query(sq.SQL, gapplydb.WithDOP(dop))
+				if err != nil {
+					t.Fatalf("batch engine dop %d: %v\n%s", dop, err, sq.SQL)
+				}
+				if d := firstDiff(ordered(row), ordered(batch)); d != "" {
+					t.Fatalf("dop %d: engines diverged: %s", dop, d)
+				}
+				// Work accounting the engines share by contract. (Counters fed
+				// by speculative batch pulls — RowsScanned under EXISTS, join
+				// probes inside a short-circuited subtree — may legitimately
+				// run ahead by part of one batch and are not compared.)
+				type parity struct {
+					groups, inner, serial, parallel, builds, hits int64
+				}
+				rp := parity{row.Stats.Groups, row.Stats.InnerExecs, row.Stats.SerialGroupExecs,
+					row.Stats.ParallelGroupExecs, row.Stats.SpoolBuilds, row.Stats.SpoolHits}
+				bp := parity{batch.Stats.Groups, batch.Stats.InnerExecs, batch.Stats.SerialGroupExecs,
+					batch.Stats.ParallelGroupExecs, batch.Stats.SpoolBuilds, batch.Stats.SpoolHits}
+				if rp != bp {
+					t.Fatalf("dop %d: counter parity broken:\nrow:   %+v\nbatch: %+v", dop, rp, bp)
+				}
+			}
+		})
+	}
+}
+
+func TestEngineDifferentialCorpus(t *testing.T) {
+	c, err := replay.Load("testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := integDatabase(t)
+	ctx := context.Background()
+
+	for _, q := range c.Queries {
+		q := q
+		if q.CancelAfterRows > 0 {
+			continue // wire-level cancel has no embedded execution
+		}
+		for _, dop := range []int{1, 2, 8} {
+			dop := dop
+			if q.DOP > 0 && dop != 1 {
+				continue // degree-pinned queries run once
+			}
+			t.Run(fmt.Sprintf("%s/dop%d", q.Name, dop), func(t *testing.T) {
+				row, err := replay.RunLocalOpts(ctx, db, q, dop, gapplydb.WithRowExecution())
+				if err != nil {
+					t.Fatalf("row engine: %v", err)
+				}
+				batch, err := replay.RunLocalOpts(ctx, db, q, dop)
+				if err != nil {
+					t.Fatalf("batch engine: %v", err)
+				}
+				if row.Code != batch.Code {
+					t.Fatalf("divergent outcome: row %q (%v) vs batch %q (%v)",
+						row.Code, row.Err, batch.Code, batch.Err)
+				}
+				if q.Expect.Error != "" {
+					if batch.Code != q.Expect.Error {
+						t.Fatalf("code = %q, want %q", batch.Code, q.Expect.Error)
+					}
+					return
+				}
+				if err := replay.DiffRendered(batch.Rendered, row.Rendered); err != nil {
+					t.Fatalf("batch vs row: %v", err)
+				}
+				if q.Expect.Golden {
+					want, err := c.Golden(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := replay.DiffRendered(row.Rendered, want); err != nil {
+						t.Fatalf("row engine vs golden: %v", err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"time"
+
+	"gapplydb"
+	"gapplydb/xmlpub"
+)
+
+// CompareRow is one query measured on both execution engines at the
+// same degree of parallelism: the row-at-a-time oracle versus the
+// default vectorized batch engine. The outputs are verified identical
+// before either timing is trusted.
+type CompareRow struct {
+	Query string
+	// Row/Batch are the minimum elapsed times across Repeats runs.
+	Row   time.Duration
+	Batch time.Duration
+	// Rows is the result cardinality (identical on both engines).
+	Rows int
+}
+
+// Speedup is the batch engine's advantage: row time ÷ batch time.
+func (r CompareRow) Speedup() float64 { return Ratio(r.Row, r.Batch) }
+
+// compareQueries is the engine-comparison workload: the Figure 8
+// pairs in both translations. The sorted-outer-union sides (*_sou) and
+// the flat-SQL Q4 are the scan/filter/join-heavy plans where
+// vectorization has the most surface; the GApply sides measure the
+// batch partition/per-group path.
+func compareQueries() []struct{ name, sql string } {
+	return []struct{ name, sql string }{
+		{"Q1_sou", xmlpub.Q1().SortedOuterUnionSQL()},
+		{"Q1_gapply", xmlpub.Q1().GApplySQL()},
+		{"Q2_sou", xmlpub.Q2().SortedOuterUnionSQL()},
+		{"Q2_gapply", xmlpub.Q2().GApplySQL()},
+		{"Q3_sou", xmlpub.Q3(0.9, 1.1).SortedOuterUnionSQL()},
+		{"Q3_gapply", xmlpub.Q3(0.9, 1.1).GApplySQL()},
+		{"Q4_flat", q4Flat},
+		{"Q4_gapply", q4GApply},
+	}
+}
+
+// CompareRepeats is how many times each (query, engine) pair runs; the
+// minimum is kept. Engine deltas are fractions of a GC pause, so this
+// is deliberately higher than the suite-wide Repeats: with a collection
+// landing inside roughly every other run, min-of-3 measures which
+// engine got lucky, not which is faster.
+var CompareRepeats = 9
+
+// timeEngine is timeQuery with the comparison's noise controls: more
+// repeats, and a forced collection before each timed run so one
+// engine's garbage doesn't land as a pause inside the other's window.
+func timeEngine(db *gapplydb.Database, q string, opts ...gapplydb.QueryOption) (time.Duration, *gapplydb.Result, error) {
+	best := time.Duration(0)
+	var last *gapplydb.Result
+	for i := 0; i < CompareRepeats; i++ {
+		runtime.GC()
+		res, err := db.Query(q, opts...)
+		if err != nil {
+			return 0, nil, fmt.Errorf("experiments: %w\nquery: %s", err, q)
+		}
+		if i == 0 || res.Elapsed < best {
+			best = res.Elapsed
+		}
+		last = res
+	}
+	return best, last, nil
+}
+
+// Compare measures the engine-comparison workload on both engines at
+// serial degree (dop 1, the paper's configuration and the cleanest
+// apples-to-apples: no parallel partition phase hiding per-row cost).
+// Every pair of runs is checked for identical output order and content
+// before its timings are reported.
+func Compare(db *gapplydb.Database) ([]CompareRow, error) {
+	var out []CompareRow
+	for _, q := range compareQueries() {
+		rt, rres, err := timeEngine(db, q.sql, gapplydb.WithDOP(1), gapplydb.WithRowExecution())
+		if err != nil {
+			return nil, err
+		}
+		bt, bres, err := timeEngine(db, q.sql, gapplydb.WithDOP(1))
+		if err != nil {
+			return nil, err
+		}
+		if err := sameResult(q.name, rres, bres); err != nil {
+			return nil, err
+		}
+		out = append(out, CompareRow{Query: q.name, Row: rt, Batch: bt, Rows: len(bres.Rows)})
+	}
+	return out, nil
+}
+
+// sameResult rejects a timing pair whose engines disagree — a
+// comparison between different computations measures nothing.
+func sameResult(name string, row, batch *gapplydb.Result) error {
+	if len(row.Rows) != len(batch.Rows) {
+		return fmt.Errorf("experiments: %s: engines disagree: %d rows (row) vs %d (batch)",
+			name, len(row.Rows), len(batch.Rows))
+	}
+	for i := range row.Rows {
+		if !reflect.DeepEqual(row.Rows[i], batch.Rows[i]) {
+			return fmt.Errorf("experiments: %s: engines disagree at row %d: %v vs %v",
+				name, i, row.Rows[i], batch.Rows[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+package exec
+
+import "gapplydb/internal/types"
+
+// This file is the spine of the batch-at-a-time engine: the Batch
+// container, the BatchIterator operator interface, and the adapters and
+// drain helpers the operators share. The engine keeps the Volcano
+// shape — a pull-based operator tree — but each pull moves a batch of
+// up to batchSize rows, so the per-row interface call, cancellation
+// poll, and allocation that dominate the row engine's hot paths are
+// paid once per batch instead of once per row.
+//
+// Layout. A Batch is row-major: Rows holds the row data (each row a
+// types.Row, the same representation the storage layer and the row
+// engine use), and Sel is the selection vector — the indexes of the
+// live rows, in order. Filters narrow Sel without moving row data;
+// column-oriented kernels (vector.go) traverse one column of the live
+// rows in a tight loop. Row-major with a selection vector, rather than
+// a columnar flip, because the storage layer is row-major, every
+// operator exchanges whole rows, and a types.Value is a 40-byte struct:
+// transposing at every operator boundary would cost more than the
+// column-stride traversal saves.
+//
+// Ownership contract. Row values (types.Row headers and the Values they
+// point at) are immutable and stable: holding one past the next pull is
+// always safe. The Batch container itself — the Rows and Sel slices —
+// is transient: it is valid only until the next NextBatch call on the
+// producer, which may reuse the backing arrays. An operator that keeps
+// rows across pulls (sort, join build, partition, spool) must copy the
+// row headers out; none needs to copy row data.
+
+// batchSize is the target number of rows per batch. It matches
+// cancelBatch, so one batch of work is also one cancellation window:
+// batch-grained polling has the same worst-case cancellation latency
+// the row engine's per-row tick amortization had.
+const batchSize = 256
+
+// Batch is a set of rows flowing between batch operators.
+type Batch struct {
+	// Rows is the row data. Not all of it need be live: consult Sel.
+	Rows []types.Row
+	// Sel is the selection vector: indexes into Rows of the live rows,
+	// in output order. nil means every row is live, in order.
+	Sel []int
+}
+
+// Len returns the number of live rows.
+func (b *Batch) Len() int {
+	if b == nil {
+		return 0
+	}
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return len(b.Rows)
+}
+
+// Row returns the i-th live row.
+func (b *Batch) Row(i int) types.Row {
+	if b.Sel != nil {
+		return b.Rows[b.Sel[i]]
+	}
+	return b.Rows[i]
+}
+
+// Gather appends column ord of every live row to dst and returns it —
+// the column-slice view a vectorized kernel iterates.
+func (b *Batch) Gather(ord int, dst []types.Value) []types.Value {
+	if b.Sel != nil {
+		for _, i := range b.Sel {
+			dst = append(dst, b.Rows[i][ord])
+		}
+		return dst
+	}
+	for i := range b.Rows {
+		dst = append(dst, b.Rows[i][ord])
+	}
+	return dst
+}
+
+// NullMask appends one bool per live row to dst — true when column ord
+// is NULL in that row — and returns it. Join and aggregate paths use it
+// to split NULL handling out of their inner loops.
+func (b *Batch) NullMask(ord int, dst []bool) []bool {
+	if b.Sel != nil {
+		for _, i := range b.Sel {
+			dst = append(dst, b.Rows[i][ord].IsNull())
+		}
+		return dst
+	}
+	for i := range b.Rows {
+		dst = append(dst, b.Rows[i][ord].IsNull())
+	}
+	return dst
+}
+
+// AppendRows appends the live rows' headers to dst and returns it — the
+// copy-out a materializing consumer performs to own rows past the
+// producer's next pull.
+func (b *Batch) AppendRows(dst []types.Row) []types.Row {
+	if b.Sel != nil {
+		for _, i := range b.Sel {
+			dst = append(dst, b.Rows[i])
+		}
+		return dst
+	}
+	return append(dst, b.Rows...)
+}
+
+// rowSlab carves stable row storage out of shared slabs. Every carve is
+// a three-index slice (slab[start:end:end]), so a carved row can never
+// grow into its neighbor or the slab's unused tail — which is what lets
+// one slab serve many batches: a fresh slab is allocated (geometrically,
+// capped at one full batch's worth of rows) only when the current one
+// fills. The carved values are stable forever, as the ownership
+// contract requires; only the *unused* slab capacity is recycled.
+type rowSlab struct {
+	slab  types.Row
+	width int // output arity, for the full-batch cap
+}
+
+// carve returns stable, contiguous storage for n values.
+func (s *rowSlab) carve(n int) types.Row {
+	if len(s.slab)+n > cap(s.slab) {
+		c := 2 * cap(s.slab)
+		if c < 8*n {
+			c = 8 * n
+		}
+		if c > batchSize*s.width {
+			c = batchSize * s.width
+		}
+		if c < n {
+			c = n
+		}
+		s.slab = make(types.Row, 0, c)
+	}
+	start := len(s.slab)
+	s.slab = s.slab[:start+n]
+	return s.slab[start : start+n : start+n]
+}
+
+// identitySel grows (or reuses) sel as the identity selection [0, n).
+func identitySel(sel []int, n int) []int {
+	sel = sel[:0]
+	for i := 0; i < n; i++ {
+		sel = append(sel, i)
+	}
+	return sel
+}
+
+// BatchIterator is the batch-engine operator interface. NextBatch
+// returns a nil Batch at end of stream; a returned Batch has at least
+// one live row. After Close, Open may be called again to re-execute the
+// subtree (Apply and GApply rely on this, exactly as with Iterator).
+type BatchIterator interface {
+	Open() error
+	NextBatch() (*Batch, error)
+	Close() error
+}
+
+// drainBatchRows opens the iterator, copies every live row's header
+// out, and closes it, polling cancellation once per batch. It is the
+// batch engine's drainWith.
+func drainBatchRows(it BatchIterator, c *Context) ([]types.Row, error) {
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	var rows []types.Row
+	for {
+		b, err := it.NextBatch()
+		if err != nil {
+			it.Close()
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if err := c.tickN(b.Len()); err != nil {
+			it.Close()
+			return nil, err
+		}
+		rows = b.AppendRows(rows)
+	}
+	if err := it.Close(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// rowWindow emits a stable row slice as a sequence of batches without
+// copying: each batch aliases a batchSize window of the slice. The rows
+// must outlive the iteration (materialized state does).
+type rowWindow struct {
+	rows []types.Row
+	pos  int
+	out  Batch
+}
+
+func (w *rowWindow) reset(rows []types.Row) { w.rows, w.pos = rows, 0 }
+
+func (w *rowWindow) next() *Batch {
+	if w.pos >= len(w.rows) {
+		return nil
+	}
+	end := w.pos + batchSize
+	if end > len(w.rows) {
+		end = len(w.rows)
+	}
+	w.out = Batch{Rows: w.rows[w.pos:end]}
+	w.pos = end
+	return &w.out
+}
+
+// rowAdapter exposes a batch tree through the row Iterator interface,
+// so row-level consumers (and the exec package's own tests) can drive
+// either engine.
+type rowAdapter struct {
+	inner BatchIterator
+	buf   *Batch
+	pos   int
+}
+
+func (a *rowAdapter) Open() error {
+	a.buf, a.pos = nil, 0
+	return a.inner.Open()
+}
+
+func (a *rowAdapter) Next() (types.Row, bool, error) {
+	for a.buf == nil || a.pos >= a.buf.Len() {
+		b, err := a.inner.NextBatch()
+		if err != nil {
+			return nil, false, err
+		}
+		if b == nil {
+			return nil, false, nil
+		}
+		a.buf, a.pos = b, 0
+	}
+	r := a.buf.Row(a.pos)
+	a.pos++
+	return r, true, nil
+}
+
+func (a *rowAdapter) Close() error {
+	a.buf = nil
+	return a.inner.Close()
+}

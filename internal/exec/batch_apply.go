@@ -1,0 +1,125 @@
+package exec
+
+import (
+	"gapplydb/internal/types"
+)
+
+// bApply is the batch counterpart of apply: it re-executes (or serves
+// from the uncorrelated cache) the inner tree once per outer row,
+// emitting concatenated rows in batches capped at batchSize. The outer
+// stack push/pop around the inner drain is identical to the row engine,
+// so correlated expressions compiled with OuterRefs work unchanged.
+type bApply struct {
+	outer, inner BatchIterator
+	ctx          *Context
+	outerApply   bool
+	innerArity   int
+	width        int
+	uncorrelated bool
+
+	cache        []types.Row
+	cacheVersion uint64
+	cacheValid   bool
+
+	ob      *Batch // current outer batch
+	oi      int    // next live index within ob
+	cur     types.Row
+	results []types.Row
+	rpos    int
+	nulls   types.Row
+
+	outBuf joinOut
+	out    Batch
+}
+
+func (a *bApply) Open() error {
+	a.ob, a.oi = nil, 0
+	a.cur, a.results, a.rpos = nil, nil, 0
+	a.cacheValid = false
+	if a.nulls == nil {
+		a.nulls = make(types.Row, a.innerArity)
+	}
+	a.outBuf.width = a.width
+	return a.outer.Open()
+}
+
+func (a *bApply) innerRows() ([]types.Row, error) {
+	if a.uncorrelated {
+		if a.cacheValid && a.cacheVersion == a.ctx.version {
+			a.ctx.Counters.ApplyCacheHits++
+			return a.cache, nil
+		}
+	}
+	a.ctx.Counters.ApplyExecs++
+	rows, err := drainBatchRows(a.inner, a.ctx)
+	if err != nil {
+		return nil, err
+	}
+	if a.uncorrelated {
+		a.cache, a.cacheVersion, a.cacheValid = rows, a.ctx.version, true
+	}
+	return rows, nil
+}
+
+// advanceOuter claims the next outer row and evaluates its inner rows.
+func (a *bApply) advanceOuter() (bool, error) {
+	for a.ob == nil || a.oi >= a.ob.Len() {
+		b, err := a.outer.NextBatch()
+		if err != nil {
+			return false, err
+		}
+		if b == nil {
+			return false, nil
+		}
+		a.ob, a.oi = b, 0
+	}
+	a.cur = a.ob.Row(a.oi)
+	a.oi++
+	a.ctx.pushOuter(a.cur)
+	rows, err := a.innerRows()
+	a.ctx.popOuter()
+	if err != nil {
+		return false, err
+	}
+	a.results, a.rpos = rows, 0
+	return true, nil
+}
+
+func (a *bApply) NextBatch() (*Batch, error) {
+	a.outBuf.reset()
+	for len(a.outBuf.rows) < batchSize {
+		if a.cur == nil {
+			ok, err := a.advanceOuter()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			if len(a.results) == 0 && a.outerApply {
+				a.outBuf.add(a.cur, a.nulls)
+				a.cur = nil
+				continue
+			}
+		}
+		for a.rpos < len(a.results) && len(a.outBuf.rows) < batchSize {
+			a.outBuf.add(a.cur, a.results[a.rpos])
+			a.rpos++
+		}
+		if a.rpos >= len(a.results) {
+			a.cur = nil
+		}
+	}
+	if len(a.outBuf.rows) == 0 {
+		return nil, nil
+	}
+	a.out = Batch{Rows: a.outBuf.rows}
+	return &a.out, nil
+}
+
+func (a *bApply) Close() error {
+	a.results, a.cache = nil, nil
+	a.cacheValid = false
+	a.ob = nil
+	return a.outer.Close()
+}

@@ -1,0 +1,407 @@
+package exec
+
+import (
+	"gapplydb/internal/types"
+)
+
+// Batch counterparts of join.go. The probe side advances through left
+// batches with an explicit cursor (batch, live index, bucket position)
+// so output batches are capped at batchSize: a high-fan-out join still
+// reaches a cancellation point once per output batch, matching the row
+// engine's per-output-row polling to within one batch.
+
+// joinOut assembles concatenated output rows into shared slabs. Every
+// emitted row is a three-index slice of the slab (slab[start:end:end]),
+// so the slab's unused tail is never aliased — which lets one slab
+// serve many batches: reset only rewinds the rows container, and a
+// fresh slab is allocated (geometrically, capped at one full batch's
+// worth) only when the current one fills. Tiny outputs — the per-group
+// inners GApply re-opens thousands of times — therefore cost a few
+// small allocations total instead of a 256-row slab per batch.
+type joinOut struct {
+	rows  []types.Row
+	slab  types.Row
+	width int
+}
+
+func (o *joinOut) reset() {
+	o.rows = o.rows[:0]
+}
+
+// add appends the concatenation a++b as one output row.
+func (o *joinOut) add(a, b types.Row) {
+	need := len(a) + len(b)
+	if len(o.slab)+need > cap(o.slab) {
+		// Rows already emitted keep pointing into the old slab; only new
+		// rows land in the fresh one.
+		c := 2 * cap(o.slab)
+		if c < 8*need {
+			c = 8 * need
+		}
+		if c > batchSize*o.width {
+			c = batchSize * o.width
+		}
+		if c < need {
+			c = need
+		}
+		o.slab = make(types.Row, 0, c)
+	}
+	start := len(o.slab)
+	o.slab = append(o.slab, a...)
+	o.slab = append(o.slab, b...)
+	o.rows = append(o.rows, o.slab[start:len(o.slab):len(o.slab)])
+}
+
+// bHashJoin builds a hash table on the right input's equi-columns and
+// probes it with left batches. It mirrors hashJoin: the spool-backed
+// rebuild skip via contentVersioned, NULL-key probe skip, residual
+// predicate over the concatenated row, left-outer NULL padding. A nil
+// pred means the build proved the condition residual-free (the hash
+// key covers every conjunct), so bucket hits emit without evaluation.
+//
+// post is a fused parent filter (Select-over-Join): it runs after the
+// join semantics — residual evaluation, matched tracking, and outer
+// padding are all decided first — and gates only what is emitted. It
+// evaluates on the reused probe row, so a rejected candidate costs a
+// scratch copy instead of a slab append.
+type bHashJoin struct {
+	left, right BatchIterator
+	pred        func(types.Row, *Context) (bool, error)
+	post        func(types.Row, *Context) (bool, error)
+	ctx         *Context
+	leftOrds    []int
+	rightOrds   []int
+	outerJoin   bool
+	rightArity  int
+	width       int // left arity + right arity
+
+	table    map[string][]types.Row
+	tableGen uint64
+	hasGen   bool
+	scratch  []byte
+
+	lb      *Batch // current left batch (valid until we pull the next)
+	li      int    // next live index within lb
+	cur     types.Row
+	bucket  []types.Row
+	bpos    int
+	matched bool
+	nulls   types.Row // shared right-side NULL pad
+
+	// probeRow is the reused residual-evaluation row: candidates are
+	// assembled here (left half once per left row, right half per bucket
+	// row) and only survivors are copied into the output slab. Safe
+	// because compiled predicates read Values out of the row and never
+	// retain the slice itself.
+	probeRow types.Row
+
+	outBuf joinOut
+	out    Batch
+}
+
+func (h *bHashJoin) Open() error {
+	if err := h.right.Open(); err != nil {
+		return err
+	}
+	rebuild := true
+	if cv, ok := h.right.(contentVersioned); ok {
+		if gen, stable := cv.contentGen(); stable {
+			if h.hasGen && h.table != nil && gen == h.tableGen {
+				rebuild = false
+			} else {
+				h.tableGen, h.hasGen = gen, true
+			}
+		} else {
+			h.hasGen = false
+		}
+	}
+	if rebuild {
+		h.table = make(map[string][]types.Row)
+		for {
+			b, err := h.right.NextBatch()
+			if err != nil {
+				return err
+			}
+			if b == nil {
+				break
+			}
+			n := b.Len()
+			if err := h.ctx.tickN(n); err != nil {
+				return err
+			}
+			for i := 0; i < n; i++ {
+				r := b.Row(i)
+				h.scratch = r.AppendKey(h.scratch[:0], h.rightOrds)
+				k := string(h.scratch) // the map key must own its bytes
+				h.table[k] = append(h.table[k], r)
+			}
+		}
+	}
+	if err := h.right.Close(); err != nil {
+		return err
+	}
+	h.lb, h.li = nil, 0
+	h.cur, h.bucket, h.bpos = nil, nil, 0
+	if h.nulls == nil {
+		h.nulls = make(types.Row, h.rightArity)
+	}
+	if (h.pred != nil || h.post != nil) && h.probeRow == nil {
+		h.probeRow = make(types.Row, h.width)
+	}
+	h.outBuf.width = h.width
+	return h.left.Open()
+}
+
+// advanceLeft claims the next live left row, pulling left batches as
+// needed. ok=false means the left input is exhausted.
+func (h *bHashJoin) advanceLeft() (bool, error) {
+	for h.lb == nil || h.li >= h.lb.Len() {
+		b, err := h.left.NextBatch()
+		if err != nil {
+			return false, err
+		}
+		if b == nil {
+			return false, nil
+		}
+		h.lb, h.li = b, 0
+	}
+	r := h.lb.Row(h.li)
+	h.li++
+	h.ctx.Counters.JoinProbes++
+	h.cur = r
+	if h.pred != nil || h.post != nil {
+		copy(h.probeRow, r)
+	}
+	// NULL join keys never match (predicate equality), so skip the
+	// probe; outer join still pads.
+	hasNull := false
+	for _, o := range h.leftOrds {
+		if r[o].IsNull() {
+			hasNull = true
+			break
+		}
+	}
+	if hasNull {
+		h.bucket = nil
+	} else {
+		h.scratch = r.AppendKey(h.scratch[:0], h.leftOrds)
+		h.bucket = h.table[string(h.scratch)]
+	}
+	h.bpos, h.matched = 0, false
+	return true, nil
+}
+
+func (h *bHashJoin) NextBatch() (*Batch, error) {
+	h.outBuf.reset()
+	for len(h.outBuf.rows) < batchSize {
+		if h.cur == nil {
+			ok, err := h.advanceLeft()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+		}
+		if h.pred == nil && h.post == nil {
+			// Residual-free: every bucket row is a match by construction.
+			n := len(h.bucket) - h.bpos
+			if room := batchSize - len(h.outBuf.rows); n > room {
+				n = room
+			}
+			for i := 0; i < n; i++ {
+				h.outBuf.add(h.cur, h.bucket[h.bpos+i])
+			}
+			h.bpos += n
+			if n > 0 {
+				h.matched = true
+			}
+		} else {
+			for h.bpos < len(h.bucket) && len(h.outBuf.rows) < batchSize {
+				rr := h.bucket[h.bpos]
+				h.bpos++
+				copy(h.probeRow[len(h.cur):], rr)
+				if h.pred != nil {
+					pass, err := h.pred(h.probeRow, h.ctx)
+					if err != nil {
+						return nil, err
+					}
+					if !pass {
+						continue
+					}
+				}
+				h.matched = true
+				if h.post != nil {
+					pass, err := h.post(h.probeRow, h.ctx)
+					if err != nil {
+						return nil, err
+					}
+					if !pass {
+						continue
+					}
+				}
+				h.outBuf.add(h.cur, rr)
+			}
+		}
+		if h.bpos >= len(h.bucket) {
+			if h.outerJoin && !h.matched {
+				if h.post != nil {
+					copy(h.probeRow, h.cur)
+					copy(h.probeRow[len(h.cur):], h.nulls)
+					pass, err := h.post(h.probeRow, h.ctx)
+					if err != nil {
+						return nil, err
+					}
+					if pass {
+						h.outBuf.add(h.cur, h.nulls)
+					}
+				} else {
+					h.outBuf.add(h.cur, h.nulls)
+				}
+			}
+			h.cur = nil
+		}
+	}
+	if len(h.outBuf.rows) == 0 {
+		return nil, nil
+	}
+	h.out = Batch{Rows: h.outBuf.rows}
+	return &h.out, nil
+}
+
+func (h *bHashJoin) Close() error {
+	// Keep a generation-stable table across re-Opens (spool-fed rebuild
+	// skip); drop tables built from unstable inputs.
+	if !h.hasGen {
+		h.table = nil
+	}
+	h.lb = nil
+	return h.left.Close()
+}
+
+// bNLJoin is the nested-loops join with the right side materialized.
+// post is the fused parent filter, with bHashJoin's semantics.
+type bNLJoin struct {
+	left, right BatchIterator
+	pred        func(types.Row, *Context) (bool, error)
+	post        func(types.Row, *Context) (bool, error)
+	ctx         *Context
+	outerJoin   bool
+	rightArity  int
+	width       int
+
+	rightRows []types.Row
+	lb        *Batch
+	li        int
+	cur       types.Row
+	rpos      int
+	matched   bool
+	nulls     types.Row
+	probeRow  types.Row // reused residual-evaluation row (see bHashJoin)
+
+	outBuf joinOut
+	out    Batch
+}
+
+func (n *bNLJoin) Open() error {
+	rows, err := drainBatchRows(n.right, n.ctx)
+	if err != nil {
+		return err
+	}
+	n.rightRows = rows
+	n.lb, n.li = nil, 0
+	n.cur, n.rpos = nil, 0
+	if n.nulls == nil {
+		n.nulls = make(types.Row, n.rightArity)
+	}
+	if n.probeRow == nil {
+		n.probeRow = make(types.Row, n.width)
+	}
+	n.outBuf.width = n.width
+	return n.left.Open()
+}
+
+func (n *bNLJoin) advanceLeft() (bool, error) {
+	for n.lb == nil || n.li >= n.lb.Len() {
+		b, err := n.left.NextBatch()
+		if err != nil {
+			return false, err
+		}
+		if b == nil {
+			return false, nil
+		}
+		n.lb, n.li = b, 0
+	}
+	n.cur = n.lb.Row(n.li)
+	n.li++
+	copy(n.probeRow, n.cur)
+	n.rpos, n.matched = 0, false
+	return true, nil
+}
+
+func (n *bNLJoin) NextBatch() (*Batch, error) {
+	n.outBuf.reset()
+	for len(n.outBuf.rows) < batchSize {
+		if n.cur == nil {
+			ok, err := n.advanceLeft()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+		}
+		for n.rpos < len(n.rightRows) && len(n.outBuf.rows) < batchSize {
+			rr := n.rightRows[n.rpos]
+			n.rpos++
+			copy(n.probeRow[len(n.cur):], rr)
+			pass, err := n.pred(n.probeRow, n.ctx)
+			if err != nil {
+				return nil, err
+			}
+			if !pass {
+				continue
+			}
+			n.matched = true
+			if n.post != nil {
+				pass, err := n.post(n.probeRow, n.ctx)
+				if err != nil {
+					return nil, err
+				}
+				if !pass {
+					continue
+				}
+			}
+			n.outBuf.add(n.cur, rr)
+		}
+		if n.rpos >= len(n.rightRows) {
+			if n.outerJoin && !n.matched {
+				if n.post != nil {
+					copy(n.probeRow, n.cur)
+					copy(n.probeRow[len(n.cur):], n.nulls)
+					pass, err := n.post(n.probeRow, n.ctx)
+					if err != nil {
+						return nil, err
+					}
+					if pass {
+						n.outBuf.add(n.cur, n.nulls)
+					}
+				} else {
+					n.outBuf.add(n.cur, n.nulls)
+				}
+			}
+			n.cur = nil
+		}
+	}
+	if len(n.outBuf.rows) == 0 {
+		return nil, nil
+	}
+	n.out = Batch{Rows: n.outBuf.rows}
+	return &n.out, nil
+}
+
+func (n *bNLJoin) Close() error {
+	n.rightRows = nil
+	n.lb = nil
+	return n.left.Close()
+}

@@ -1,0 +1,522 @@
+package exec
+
+import (
+	"sort"
+
+	"gapplydb/internal/storage"
+	"gapplydb/internal/types"
+)
+
+// Batch counterparts of the basic operators in iterators.go. Each
+// mirrors its row twin's Open/Close structure and counter effects
+// exactly — the differential suite holds the two engines byte-identical
+// — but moves batchSize rows per interface call.
+
+// bScan produces a base table in zero-copy batches: each batch aliases
+// a window of the table's row slice.
+type bScan struct {
+	table *storage.Table
+	ctx   *Context
+	pos   int
+	out   Batch
+}
+
+func (s *bScan) Open() error { s.pos = 0; return nil }
+
+func (s *bScan) NextBatch() (*Batch, error) {
+	if s.pos >= len(s.table.Rows) {
+		return nil, nil
+	}
+	end := s.pos + batchSize
+	if end > len(s.table.Rows) {
+		end = len(s.table.Rows)
+	}
+	n := end - s.pos
+	// Leaf scans remain the engine's universal cancellation point, now
+	// at batch granularity.
+	if err := s.ctx.tickN(n); err != nil {
+		return nil, err
+	}
+	s.out = Batch{Rows: s.table.Rows[s.pos:end]}
+	s.pos = end
+	s.ctx.Counters.RowsScanned += int64(n)
+	return &s.out, nil
+}
+
+func (s *bScan) Close() error { return nil }
+
+// bGroupScan produces the rows bound to a group variable in batches.
+type bGroupScan struct {
+	varName string
+	ctx     *Context
+	win     rowWindow
+}
+
+func (s *bGroupScan) Open() error {
+	rows, err := s.ctx.Group(s.varName)
+	if err != nil {
+		return err
+	}
+	s.win.reset(rows)
+	return nil
+}
+
+func (s *bGroupScan) NextBatch() (*Batch, error) {
+	b := s.win.next()
+	if b == nil {
+		return nil, nil
+	}
+	if err := s.ctx.tickN(b.Len()); err != nil {
+		return nil, err
+	}
+	s.ctx.Counters.GroupScanRows += int64(b.Len())
+	return b, nil
+}
+
+func (s *bGroupScan) Close() error { return nil }
+
+// bFilter narrows each input batch's selection. When the predicate
+// kernelized (vector.go) the narrowing is a column-at-a-time tight
+// loop; otherwise the compiled row closure runs over the live rows —
+// still one interface call and one cancellation poll per batch.
+type bFilter struct {
+	input   BatchIterator
+	kernels []selKernel // non-nil: the vectorized path
+	pred    func(types.Row, *Context) (bool, error)
+	ctx     *Context
+
+	sel []int // scratch selection, reused per batch
+	out Batch
+}
+
+func (f *bFilter) Open() error { return f.input.Open() }
+
+func (f *bFilter) NextBatch() (*Batch, error) {
+	for {
+		b, err := f.input.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		// Start from the input's selection, copied into scratch we own:
+		// kernels narrow in place.
+		if b.Sel != nil {
+			f.sel = append(f.sel[:0], b.Sel...)
+		} else {
+			f.sel = identitySel(f.sel, len(b.Rows))
+		}
+		if f.kernels != nil {
+			f.sel = runKernels(f.kernels, b.Rows, f.sel)
+		} else {
+			out := f.sel[:0]
+			for _, i := range f.sel {
+				pass, err := f.pred(b.Rows[i], f.ctx)
+				if err != nil {
+					return nil, err
+				}
+				if pass {
+					out = append(out, i)
+				}
+			}
+			f.sel = out
+		}
+		if len(f.sel) == 0 {
+			continue
+		}
+		f.out = Batch{Rows: b.Rows, Sel: f.sel}
+		return &f.out, nil
+	}
+}
+
+func (f *bFilter) Close() error { return f.input.Close() }
+
+// bProject computes output expressions for every live row, carving the
+// output rows out of shared slabs (rowSlab) — a handful of allocations
+// per query instead of one per row or even one per batch. The row
+// values are stable as the contract requires; only the rows container
+// is reused, which the contract permits (containers are transient).
+type bProject struct {
+	input BatchIterator
+	exprs []evalFn
+	ctx   *Context
+
+	slab rowSlab
+	rows []types.Row
+	out  Batch
+}
+
+func (p *bProject) Open() error {
+	p.slab.width = len(p.exprs)
+	return p.input.Open()
+}
+
+func (p *bProject) NextBatch() (*Batch, error) {
+	b, err := p.input.NextBatch()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	n := b.Len()
+	width := len(p.exprs)
+	p.rows = p.rows[:0]
+	for i := 0; i < n; i++ {
+		r := b.Row(i)
+		dst := p.slab.carve(width)
+		for j, f := range p.exprs {
+			v, err := f(r, p.ctx)
+			if err != nil {
+				return nil, err
+			}
+			dst[j] = v
+		}
+		p.rows = append(p.rows, dst)
+	}
+	p.out = Batch{Rows: p.rows}
+	return &p.out, nil
+}
+
+func (p *bProject) Close() error { return p.input.Close() }
+
+// bProjectCols is the pure-column projection fast path: an ordinal
+// gather into slab-carved rows.
+type bProjectCols struct {
+	input BatchIterator
+	ords  []int
+
+	slab rowSlab
+	rows []types.Row
+	out  Batch
+}
+
+func (p *bProjectCols) Open() error {
+	p.slab.width = len(p.ords)
+	return p.input.Open()
+}
+
+func (p *bProjectCols) NextBatch() (*Batch, error) {
+	b, err := p.input.NextBatch()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	p.rows = projectBatch(b, p.ords, &p.slab, p.rows[:0])
+	p.out = Batch{Rows: p.rows}
+	return &p.out, nil
+}
+
+func (p *bProjectCols) Close() error { return p.input.Close() }
+
+// projectBatch gathers the ordinals of every live row into slab-carved
+// rows appended to dst (reused across batches by the caller).
+func projectBatch(b *Batch, ords []int, slab *rowSlab, dst []types.Row) []types.Row {
+	n := b.Len()
+	width := len(ords)
+	for i := 0; i < n; i++ {
+		r := b.Row(i)
+		out := slab.carve(width)
+		for j, o := range ords {
+			out[j] = r[o]
+		}
+		dst = append(dst, out)
+	}
+	return dst
+}
+
+// bFused is filter+project fused into one pass: narrow the selection,
+// then gather only the survivors. build inserts it for Project-over-
+// Select when neither node needs its own probe or spool identity, so
+// the fusion is invisible to EXPLAIN ANALYZE and the spool counters.
+type bFused struct {
+	input   BatchIterator
+	kernels []selKernel
+	pred    func(types.Row, *Context) (bool, error)
+	ords    []int    // pure-column projection…
+	exprs   []evalFn // …or general expressions (exactly one is set)
+	ctx     *Context
+
+	sel  []int
+	slab rowSlab
+	rows []types.Row
+	out  Batch
+}
+
+func (f *bFused) Open() error {
+	if f.ords != nil {
+		f.slab.width = len(f.ords)
+	} else {
+		f.slab.width = len(f.exprs)
+	}
+	return f.input.Open()
+}
+
+func (f *bFused) NextBatch() (*Batch, error) {
+	for {
+		b, err := f.input.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		if b.Sel != nil {
+			f.sel = append(f.sel[:0], b.Sel...)
+		} else {
+			f.sel = identitySel(f.sel, len(b.Rows))
+		}
+		if f.kernels != nil {
+			f.sel = runKernels(f.kernels, b.Rows, f.sel)
+		} else {
+			out := f.sel[:0]
+			for _, i := range f.sel {
+				pass, err := f.pred(b.Rows[i], f.ctx)
+				if err != nil {
+					return nil, err
+				}
+				if pass {
+					out = append(out, i)
+				}
+			}
+			f.sel = out
+		}
+		if len(f.sel) == 0 {
+			continue
+		}
+		narrowed := Batch{Rows: b.Rows, Sel: f.sel}
+		if f.ords != nil {
+			f.rows = projectBatch(&narrowed, f.ords, &f.slab, f.rows[:0])
+			f.out = Batch{Rows: f.rows}
+			return &f.out, nil
+		}
+		n := narrowed.Len()
+		width := len(f.exprs)
+		f.rows = f.rows[:0]
+		for i := 0; i < n; i++ {
+			r := narrowed.Row(i)
+			dst := f.slab.carve(width)
+			for j, fn := range f.exprs {
+				v, err := fn(r, f.ctx)
+				if err != nil {
+					return nil, err
+				}
+				dst[j] = v
+			}
+			f.rows = append(f.rows, dst)
+		}
+		f.out = Batch{Rows: f.rows}
+		return &f.out, nil
+	}
+}
+
+func (f *bFused) Close() error { return f.input.Close() }
+
+// bDistinct narrows each batch to first-seen rows.
+type bDistinct struct {
+	input BatchIterator
+	seen  map[string]bool
+	sel   []int
+	out   Batch
+}
+
+func (d *bDistinct) Open() error {
+	d.seen = make(map[string]bool)
+	return d.input.Open()
+}
+
+func (d *bDistinct) NextBatch() (*Batch, error) {
+	for {
+		b, err := d.input.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		if b.Sel != nil {
+			d.sel = append(d.sel[:0], b.Sel...)
+		} else {
+			d.sel = identitySel(d.sel, len(b.Rows))
+		}
+		out := d.sel[:0]
+		for _, i := range d.sel {
+			k := b.Rows[i].KeyAll()
+			if d.seen[k] {
+				continue
+			}
+			d.seen[k] = true
+			out = append(out, i)
+		}
+		if len(out) == 0 {
+			continue
+		}
+		d.sel = out
+		d.out = Batch{Rows: b.Rows, Sel: d.sel}
+		return &d.out, nil
+	}
+}
+
+func (d *bDistinct) Close() error { return d.input.Close() }
+
+// bUnionAll concatenates its inputs, forwarding their batches. Like the
+// row unionAll, inputs past the first are opened lazily during
+// NextBatch and closed as they exhaust.
+type bUnionAll struct {
+	inputs []BatchIterator
+	cur    int
+}
+
+func (u *bUnionAll) Open() error {
+	u.cur = 0
+	if len(u.inputs) == 0 {
+		return nil
+	}
+	return u.inputs[0].Open()
+}
+
+func (u *bUnionAll) NextBatch() (*Batch, error) {
+	for u.cur < len(u.inputs) {
+		b, err := u.inputs[u.cur].NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b != nil {
+			return b, nil
+		}
+		if err := u.inputs[u.cur].Close(); err != nil {
+			return nil, err
+		}
+		u.cur++
+		if u.cur < len(u.inputs) {
+			if err := u.inputs[u.cur].Open(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return nil, nil
+}
+
+func (u *bUnionAll) Close() error {
+	if u.cur < len(u.inputs) {
+		return u.inputs[u.cur].Close()
+	}
+	return nil
+}
+
+// bSort materializes its input, sorts stably by the compiled keys, and
+// emits the sorted rows in aliased windows.
+type bSort struct {
+	input BatchIterator
+	keys  []compiledKey
+	ctx   *Context
+	rows  []types.Row
+	win   rowWindow
+}
+
+func (s *bSort) Open() error {
+	if err := s.input.Open(); err != nil {
+		return err
+	}
+	type keyed struct {
+		row  types.Row
+		keys types.Row
+	}
+	var data []keyed
+	for {
+		b, err := s.input.NextBatch()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		n := b.Len()
+		if err := s.ctx.tickN(n); err != nil {
+			return err
+		}
+		// One key slab per batch, mirroring the output-row slabs.
+		slab := make(types.Row, n*len(s.keys))
+		for i := 0; i < n; i++ {
+			r := b.Row(i)
+			kv := slab[i*len(s.keys) : (i+1)*len(s.keys) : (i+1)*len(s.keys)]
+			for j, k := range s.keys {
+				v, err := k.fn(r, s.ctx)
+				if err != nil {
+					return err
+				}
+				kv[j] = v
+			}
+			data = append(data, keyed{row: r, keys: kv})
+		}
+	}
+	if err := s.input.Close(); err != nil {
+		return err
+	}
+	sort.SliceStable(data, func(i, j int) bool {
+		for k := range s.keys {
+			c := types.SortCompare(data[i].keys[k], data[j].keys[k])
+			if c == 0 {
+				continue
+			}
+			if s.keys[k].desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	s.rows = make([]types.Row, len(data))
+	for i, d := range data {
+		s.rows[i] = d.row
+	}
+	s.win.reset(s.rows)
+	return nil
+}
+
+func (s *bSort) NextBatch() (*Batch, error) {
+	return s.win.next(), nil
+}
+
+func (s *bSort) Close() error {
+	s.rows = nil
+	s.win.reset(nil)
+	return nil
+}
+
+// bExists consumes its input and emits a single zero-column row when
+// the input is nonempty (or empty, when negated). It pulls one batch
+// where the row engine pulls one row; the upstream may therefore do up
+// to one batch of extra work — outputs are identical, and the
+// differential suite compares outputs, not work counters.
+type bExists struct {
+	input   BatchIterator
+	negated bool
+	done    bool
+	emit    bool
+	out     Batch
+}
+
+func (e *bExists) Open() error {
+	e.done = false
+	if err := e.input.Open(); err != nil {
+		return err
+	}
+	b, err := e.input.NextBatch()
+	if err != nil {
+		return err
+	}
+	if err := e.input.Close(); err != nil {
+		return err
+	}
+	e.emit = (b.Len() > 0) != e.negated
+	return nil
+}
+
+func (e *bExists) NextBatch() (*Batch, error) {
+	if e.done || !e.emit {
+		return nil, nil
+	}
+	e.done = true
+	e.out = Batch{Rows: []types.Row{{}}}
+	return &e.out, nil
+}
+
+func (e *bExists) Close() error { return nil }

@@ -1,0 +1,116 @@
+package exec
+
+import (
+	"gapplydb/internal/core"
+	"gapplydb/internal/types"
+)
+
+// bspool is the batch engine's spool iterator. It shares the holder /
+// state machinery of spool.go — the same sync.Once materialization, the
+// same generation numbering, the same build/hit accounting — so both
+// engines report identical spool counters and the hash join's rebuild
+// skip works identically. Replays emit the materialized rows in aliased
+// batch windows (no copy).
+type bspool struct {
+	inner BatchIterator
+	node  core.Node
+	h     *spoolHolder
+	ctx   *Context
+
+	st  *spoolState // pinned at Open
+	win rowWindow
+}
+
+func (s *bspool) Open() error {
+	st := s.h.state
+	built := false
+	st.once.Do(func() {
+		built = true
+		st.gen = spoolGen.Add(1)
+		st.rows, st.bytes, st.err = s.materialize()
+	})
+	if built {
+		s.ctx.Counters.SpoolBuilds++
+	} else {
+		s.ctx.Counters.SpoolHits++
+	}
+	if s.ctx.Prof != nil {
+		ns := s.ctx.Prof.node(s.node)
+		if built {
+			ns.SpoolBuilds++
+			ns.SpoolBytes += st.bytes
+		} else {
+			ns.SpoolHits++
+		}
+	}
+	if st.err != nil {
+		return st.err
+	}
+	s.st = st
+	s.win.reset(st.rows)
+	return nil
+}
+
+// materialize drains the inner subtree batch-wise, charging the budget
+// per row exactly as the row spool does.
+func (s *bspool) materialize() ([]types.Row, int64, error) {
+	if err := s.inner.Open(); err != nil {
+		return nil, 0, err
+	}
+	var rows []types.Row
+	var bytes int64
+	for {
+		b, err := s.inner.NextBatch()
+		if err != nil {
+			s.inner.Close()
+			return nil, bytes, err
+		}
+		if b == nil {
+			break
+		}
+		bn := b.Len()
+		if err := s.ctx.tickN(bn); err != nil {
+			s.inner.Close()
+			return nil, bytes, err
+		}
+		for i := 0; i < bn; i++ {
+			r := b.Row(i)
+			n := int64(r.Bytes())
+			if err := s.ctx.Budget.chargePartition(n, "Spool: "+core.Summary(s.node)); err != nil {
+				s.inner.Close()
+				return nil, bytes, err
+			}
+			bytes += n
+			rows = append(rows, r)
+		}
+	}
+	if err := s.inner.Close(); err != nil {
+		return nil, bytes, err
+	}
+	return rows, bytes, nil
+}
+
+func (s *bspool) NextBatch() (*Batch, error) {
+	b := s.win.next()
+	if b == nil {
+		return nil, nil
+	}
+	if err := s.ctx.tickN(b.Len()); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Close releases nothing: the materialization belongs to the holder.
+func (s *bspool) Close() error {
+	s.win.pos = 0
+	return nil
+}
+
+// contentGen implements contentVersioned, exactly as spool does.
+func (s *bspool) contentGen() (uint64, bool) {
+	if s.st == nil {
+		return 0, false
+	}
+	return s.st.gen, true
+}

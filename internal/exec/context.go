@@ -73,6 +73,13 @@ type Context struct {
 	// execution completely uninstrumented.
 	Prof *Profile
 
+	// RowExec selects the reference row-at-a-time engine instead of the
+	// default batch-at-a-time engine. The two produce byte-identical
+	// results (the differential suite pins this); the row engine is kept
+	// as the oracle the batch engine is checked against, and for
+	// benchmark comparisons.
+	RowExec bool
+
 	// NoSpool disables GApply's invariant-subtree spooling, forcing the
 	// pre-spool behavior of re-executing the whole inner tree per group.
 	// The differential tests and the spool benchmark flip it.
@@ -121,7 +128,7 @@ func (c *Context) fork() *Context {
 		groups[k] = v
 	}
 	child := &Context{Catalog: c.Catalog, DOP: c.DOP, groups: groups,
-		Ctx: c.Ctx, Budget: c.Budget, NoSpool: c.NoSpool}
+		Ctx: c.Ctx, Budget: c.Budget, NoSpool: c.NoSpool, RowExec: c.RowExec}
 	child.outer = append(child.outer, c.outer...)
 	if c.Prof != nil {
 		child.Prof = NewProfile()
@@ -141,6 +148,25 @@ func (c *Context) tick() error {
 	c.ticks++
 	if c.ticks&(cancelBatch-1) != 0 || c.Ctx == nil {
 		return nil
+	}
+	return context.Cause(c.Ctx)
+}
+
+// tickN advances the tick counter by n rows of work at once — the batch
+// engine's cancellation point. It polls the context whenever the n rows
+// crossed a cancelBatch window boundary, so batch-grained polling keeps
+// the same worst-case cancellation latency as n per-row ticks.
+func (c *Context) tickN(n int) error {
+	if n <= 0 {
+		return nil
+	}
+	before := c.ticks
+	c.ticks += uint64(n)
+	if c.Ctx == nil {
+		return nil
+	}
+	if (before^c.ticks)&^uint64(cancelBatch-1) == 0 {
+		return nil // same window: no boundary crossed
 	}
 	return context.Cause(c.Ctx)
 }

@@ -14,6 +14,12 @@ import (
 // network server streams results through one of these so a large result
 // never exists in full on the server side.
 //
+// Like Run, Start compiles for the batch engine unless Context.RowExec
+// selects the row engine; the Cursor surface is identical either way.
+// NextBatch is the bulk form — the server's framing loop uses it to
+// move 256 rows per call — and may be mixed freely with Next: a batch
+// never re-delivers rows Next already returned.
+//
 // A Cursor, like the iterator tree it drives, belongs to a single
 // goroutine. Close is idempotent and must be called even after an error
 // (Next errors leave the tree closed already; the extra Close is a
@@ -22,15 +28,33 @@ type Cursor struct {
 	Schema *schema.Schema
 
 	node   core.Node
-	it     Iterator
+	it     Iterator      // row engine (nil in batch mode)
+	bit    BatchIterator // batch engine (nil in row mode)
 	ctx    *Context
 	n      int64
 	closed bool
+
+	cur     *Batch // batch mode: current batch being row-stepped by Next
+	pos     int    // live-row position within cur
+	rem     Batch  // scratch for NextBatch remainders and truncations
+	scratch Batch  // row mode: batch assembled by NextBatch
+	pendErr error  // error to deliver on the NextBatch after a partial batch
 }
 
 // Start compiles the plan and opens the iterator tree, returning a
 // cursor positioned before the first row.
 func Start(n core.Node, ctx *Context) (*Cursor, error) {
+	if !ctx.RowExec {
+		bit, err := BuildBatch(n, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if err := bit.Open(); err != nil {
+			bit.Close()
+			return nil, err
+		}
+		return &Cursor{Schema: n.Schema(), node: n, bit: bit, ctx: ctx}, nil
+	}
 	it, err := Build(n, ctx)
 	if err != nil {
 		return nil, err
@@ -47,26 +71,52 @@ func Start(n core.Node, ctx *Context) (*Cursor, error) {
 // failure) closes the tree and is final.
 func (c *Cursor) Next() (types.Row, bool, error) {
 	if c.closed {
+		if err := c.pendErr; err != nil {
+			c.pendErr = nil
+			return nil, false, err
+		}
 		return nil, false, nil
 	}
 	if err := c.ctx.tick(); err != nil {
 		c.close()
 		return nil, false, err
 	}
-	r, ok, err := c.it.Next()
-	if err != nil {
-		c.close()
-		return nil, false, err
-	}
-	if !ok {
-		// A cancel that lands after the last row still cancels the query,
-		// mirroring Run: the consumer must not mistake a raced result for
-		// a committed success.
-		err := c.close()
-		if cerr := c.ctx.checkCancel(); cerr != nil {
-			err = cerr
+	var r types.Row
+	if c.bit != nil {
+		for c.cur == nil || c.pos >= c.cur.Len() {
+			b, err := c.bit.NextBatch()
+			if err != nil {
+				c.close()
+				return nil, false, err
+			}
+			if b == nil {
+				err := c.close()
+				if cerr := c.ctx.checkCancel(); cerr != nil {
+					err = cerr
+				}
+				return nil, false, err
+			}
+			c.cur, c.pos = b, 0
 		}
-		return nil, false, err
+		r = c.cur.Row(c.pos)
+		c.pos++
+	} else {
+		row, ok, err := c.it.Next()
+		if err != nil {
+			c.close()
+			return nil, false, err
+		}
+		if !ok {
+			// A cancel that lands after the last row still cancels the query,
+			// mirroring Run: the consumer must not mistake a raced result for
+			// a committed success.
+			err := c.close()
+			if cerr := c.ctx.checkCancel(); cerr != nil {
+				err = cerr
+			}
+			return nil, false, err
+		}
+		r = row
 	}
 	c.n++
 	if b := c.ctx.Budget; b != nil && b.MaxOutputRows > 0 && c.n > b.MaxOutputRows {
@@ -77,6 +127,109 @@ func (c *Cursor) Next() (types.Row, bool, error) {
 		}
 	}
 	return r, true, nil
+}
+
+// NextBatch returns the next batch of output rows; nil with a nil error
+// marks exhaustion. The batch and its rows follow the batch-engine
+// ownership contract: valid until the next call on the cursor. Budget
+// semantics match Next exactly — when MaxOutputRows truncates mid-batch
+// the allowed rows are still delivered, and the *ResourceError (with
+// Used = max+1) arrives on the following call.
+func (c *Cursor) NextBatch() (*Batch, error) {
+	if err := c.pendErr; err != nil {
+		c.pendErr = nil
+		return nil, err
+	}
+	if c.closed {
+		return nil, nil
+	}
+	if c.bit == nil {
+		return c.rowAssembleBatch()
+	}
+	var b *Batch
+	if c.cur != nil && c.pos < c.cur.Len() {
+		// Rows Next stepped past must not reappear: emit the remainder of
+		// the current batch first.
+		if c.cur.Sel != nil {
+			c.rem = Batch{Rows: c.cur.Rows, Sel: c.cur.Sel[c.pos:]}
+		} else {
+			c.rem = Batch{Rows: c.cur.Rows[c.pos:]}
+		}
+		c.cur = nil
+		b = &c.rem
+	} else {
+		c.cur = nil
+		nb, err := c.bit.NextBatch()
+		if err != nil {
+			c.close()
+			return nil, err
+		}
+		if nb == nil {
+			err := c.close()
+			if cerr := c.ctx.checkCancel(); cerr != nil {
+				err = cerr
+			}
+			if err != nil {
+				return nil, err
+			}
+			return nil, nil
+		}
+		b = nb
+	}
+	if err := c.ctx.tickN(b.Len()); err != nil {
+		c.close()
+		return nil, err
+	}
+	c.n += int64(b.Len())
+	if bud := c.ctx.Budget; bud != nil && bud.MaxOutputRows > 0 && c.n > bud.MaxOutputRows {
+		keep := b.Len() - int(c.n-bud.MaxOutputRows)
+		c.n = bud.MaxOutputRows
+		c.pendErr = &ResourceError{
+			Limit: LimitOutputRows, Operator: core.Summary(c.node),
+			Max: bud.MaxOutputRows, Used: bud.MaxOutputRows + 1,
+		}
+		c.close()
+		if keep == 0 {
+			err := c.pendErr
+			c.pendErr = nil
+			return nil, err
+		}
+		if b.Sel != nil {
+			c.rem = Batch{Rows: b.Rows, Sel: b.Sel[:keep]}
+		} else {
+			c.rem = Batch{Rows: b.Rows[:keep]}
+		}
+		return &c.rem, nil
+	}
+	return b, nil
+}
+
+// rowAssembleBatch is NextBatch over the row engine: up to batchSize
+// Next calls folded into one owned batch, with any mid-batch error
+// deferred so already-produced rows are still delivered first.
+func (c *Cursor) rowAssembleBatch() (*Batch, error) {
+	if c.scratch.Rows == nil {
+		c.scratch.Rows = make([]types.Row, 0, batchSize)
+	}
+	c.scratch.Rows = c.scratch.Rows[:0]
+	for len(c.scratch.Rows) < batchSize {
+		r, ok, err := c.Next()
+		if err != nil {
+			if len(c.scratch.Rows) == 0 {
+				return nil, err
+			}
+			c.pendErr = err
+			break
+		}
+		if !ok {
+			break
+		}
+		c.scratch.Rows = append(c.scratch.Rows, r)
+	}
+	if len(c.scratch.Rows) == 0 {
+		return nil, nil
+	}
+	return &c.scratch, nil
 }
 
 // Rows reports how many rows the cursor has produced so far.
@@ -90,5 +243,9 @@ func (c *Cursor) close() error {
 		return nil
 	}
 	c.closed = true
+	c.cur = nil
+	if c.bit != nil {
+		return c.bit.Close()
+	}
 	return c.it.Close()
 }

@@ -354,13 +354,9 @@ type parRun struct {
 	wg      sync.WaitGroup
 }
 
-// startWorkers launches the pool for the groups partitioned by Open.
-// The pool captures the partition snapshot (not the gapply fields): a
-// later Close/Open on the iterator must not yank state out from under
-// workers that are still winding down.
-func (g *gapply) startWorkers(dop int) *parRun {
-	groups := g.groups
-	n := len(groups)
+// newParRun allocates the pool state for n groups at the given degree;
+// shared by the row and batch GApply execution phases.
+func newParRun(n, dop int) *parRun {
 	p := &parRun{
 		results: make([]parGroup, n),
 		ready:   make([]chan struct{}, n),
@@ -370,6 +366,17 @@ func (g *gapply) startWorkers(dop int) *parRun {
 	for i := range p.ready {
 		p.ready[i] = make(chan struct{})
 	}
+	return p
+}
+
+// startWorkers launches the pool for the groups partitioned by Open.
+// The pool captures the partition snapshot (not the gapply fields): a
+// later Close/Open on the iterator must not yank state out from under
+// workers that are still winding down.
+func (g *gapply) startWorkers(dop int) *parRun {
+	groups := g.groups
+	n := len(groups)
+	p := newParRun(n, dop)
 	// Workers run under a context derived from the query's: cancelling
 	// the query (or shutting the pool down) interrupts a worker even
 	// mid-group, via the same row-batch ticks serial execution uses.

@@ -86,6 +86,14 @@ func (p *Profile) wrap(n core.Node, it Iterator) Iterator {
 	return &probe{inner: it, stats: p.node(n)}
 }
 
+// wrapBatch instruments a batch iterator compiled from plan node n.
+// Rows is advanced by the batch's live-row count — actuals count rows,
+// never batches — so EXPLAIN ANALYZE output is identical across the
+// two engines and at every degree of parallelism.
+func (p *Profile) wrapBatch(n core.Node, it BatchIterator) BatchIterator {
+	return &batchProbe{inner: it, stats: p.node(n)}
+}
+
 // snapshot copies the current values, for later delta computation.
 func (p *Profile) snapshot() map[core.Node]NodeStats {
 	snap := make(map[core.Node]NodeStats, len(p.stats))
@@ -149,6 +157,38 @@ func (p *probe) Next() (types.Row, bool, error) {
 }
 
 func (p *probe) Close() error {
+	start := time.Now()
+	err := p.inner.Close()
+	p.stats.Time += time.Since(start)
+	return err
+}
+
+// batchProbe is the probe's batch twin: one timing sample per batch
+// call, Rows advanced by live rows.
+type batchProbe struct {
+	inner BatchIterator
+	stats *NodeStats
+}
+
+func (p *batchProbe) Open() error {
+	start := time.Now()
+	err := p.inner.Open()
+	p.stats.Time += time.Since(start)
+	p.stats.Opens++
+	return err
+}
+
+func (p *batchProbe) NextBatch() (*Batch, error) {
+	start := time.Now()
+	b, err := p.inner.NextBatch()
+	p.stats.Time += time.Since(start)
+	if b != nil {
+		p.stats.Rows += int64(b.Len())
+	}
+	return b, err
+}
+
+func (p *batchProbe) Close() error {
 	start := time.Now()
 	err := p.inner.Close()
 	p.stats.Time += time.Since(start)

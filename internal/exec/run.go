@@ -19,7 +19,15 @@ type Result struct {
 // resource budget: cancellation surfaces as context.Canceled or
 // context.DeadlineExceeded within one row batch, and a blown budget as
 // a *ResourceError naming the offending operator.
+//
+// The batch engine runs by default; Context.RowExec selects the
+// row-at-a-time engine. Both produce the same rows, the same errors
+// (budget kills included, with identical Used values) and the same
+// counters.
 func Run(n core.Node, ctx *Context) (*Result, error) {
+	if !ctx.RowExec {
+		return runBatch(n, ctx)
+	}
 	it, err := Build(n, ctx)
 	if err != nil {
 		return nil, err
@@ -56,6 +64,52 @@ func Run(n core.Node, ctx *Context) (*Result, error) {
 	// A cancel that lands after the last row still cancels the query:
 	// callers must never mistake a result raced by cancellation for a
 	// committed success.
+	if err := ctx.checkCancel(); err != nil {
+		return nil, err
+	}
+	return &Result{Schema: n.Schema(), Rows: rows}, nil
+}
+
+// runBatch is Run over the batch engine. The output-row budget error is
+// raised at the same logical point as the row engine's — after max+1
+// rows have been produced, with Used = max+1 — so the two engines are
+// indistinguishable to a caller even on the failure path.
+func runBatch(n core.Node, ctx *Context) (*Result, error) {
+	it, err := BuildBatch(n, ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	var rows []types.Row
+	for {
+		b, err := it.NextBatch()
+		if err != nil {
+			it.Close()
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if err := ctx.tickN(b.Len()); err != nil {
+			it.Close()
+			return nil, err
+		}
+		if bud := ctx.Budget; bud != nil && bud.MaxOutputRows > 0 && int64(len(rows)+b.Len()) > bud.MaxOutputRows {
+			it.Close()
+			return nil, &ResourceError{
+				Limit: LimitOutputRows, Operator: core.Summary(n),
+				Max: bud.MaxOutputRows, Used: bud.MaxOutputRows + 1,
+			}
+		}
+		rows = b.AppendRows(rows)
+	}
+	if err := it.Close(); err != nil {
+		return nil, err
+	}
+	// A cancel that lands after the last batch still cancels, exactly as
+	// in the row engine.
 	if err := ctx.checkCancel(); err != nil {
 		return nil, err
 	}

@@ -474,8 +474,11 @@ func (s *session) streamRows(id uint64, stream *gapplydb.Stream, tid trace.ID) {
 		batchBytes = 0
 		return nil
 	}
+	// Rows arrive in engine batches; per-row work here is only the frame
+	// bookkeeping. Frame boundaries are still governed by batchMaxRows /
+	// batchMaxBytes, so the wire shape is unchanged.
 	for {
-		row, ok, err := stream.Next()
+		rows, ok, err := stream.NextBatch()
 		if err != nil {
 			s.srv.reg.Counter("server_query_errors").Inc()
 			s.writeErrorTraced(id, errorCode(err), err.Error(), tid)
@@ -484,12 +487,14 @@ func (s *session) streamRows(id uint64, stream *gapplydb.Stream, tid trace.ID) {
 		if !ok {
 			break
 		}
-		batch = append(batch, row)
-		batchBytes += rowSize(row)
-		total++
-		if len(batch) >= batchMaxRows || batchBytes >= batchMaxBytes {
-			if err := flush(); err != nil {
-				return
+		for _, row := range rows {
+			batch = append(batch, row)
+			batchBytes += rowSize(row)
+			total++
+			if len(batch) >= batchMaxRows || batchBytes >= batchMaxBytes {
+				if err := flush(); err != nil {
+					return
+				}
 			}
 		}
 	}
@@ -511,7 +516,7 @@ func (s *session) streamXML(id uint64, stream *gapplydb.Stream, planJSON []byte,
 	cw := &chunkWriter{sess: s, id: id}
 	tagger := xmlpub.NewTagger(&plan, cw)
 	for {
-		row, ok, err := stream.Next()
+		rows, ok, err := stream.NextBatch()
 		if err != nil {
 			s.srv.reg.Counter("server_query_errors").Inc()
 			s.writeErrorTraced(id, errorCode(err), err.Error(), tid)
@@ -520,12 +525,14 @@ func (s *session) streamXML(id uint64, stream *gapplydb.Stream, planJSON []byte,
 		if !ok {
 			break
 		}
-		if err := tagger.Row(row); err != nil {
-			if cw.err != nil {
-				return // connection gone
+		for _, row := range rows {
+			if err := tagger.Row(row); err != nil {
+				if cw.err != nil {
+					return // connection gone
+				}
+				s.writeError(id, wire.CodeInternal, err.Error())
+				return
 			}
-			s.writeError(id, wire.CodeInternal, err.Error())
-			return
 		}
 	}
 	if err := tagger.Close(); err != nil {

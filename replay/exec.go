@@ -91,6 +91,14 @@ func (q *Query) effectiveDOP(dop int) int {
 // degree of parallelism. Cancel-type queries are not locally runnable —
 // their whole point is a wire-level cancel mid-stream.
 func RunLocal(ctx context.Context, db *gapplydb.Database, q *Query, dop int) (*Outcome, error) {
+	return RunLocalOpts(ctx, db, q, dop)
+}
+
+// RunLocalOpts is RunLocal with extra query options appended after the
+// corpus-derived ones. The row-vs-batch engine differential uses it to
+// pin the execution engine (gapplydb.WithRowExecution) while keeping
+// the corpus's own DOP/timeout/budget semantics intact.
+func RunLocalOpts(ctx context.Context, db *gapplydb.Database, q *Query, dop int, extra ...gapplydb.QueryOption) (*Outcome, error) {
 	if q.CancelAfterRows > 0 {
 		return nil, fmt.Errorf("replay: %s: cancel-after-rows queries only run remotely", q.Name)
 	}
@@ -104,6 +112,7 @@ func RunLocal(ctx context.Context, db *gapplydb.Database, q *Query, dop int) (*O
 	if q.MaxOutputRows > 0 {
 		opts = append(opts, gapplydb.WithBudget(gapplydb.Budget{MaxOutputRows: q.MaxOutputRows}))
 	}
+	opts = append(opts, extra...)
 	start := time.Now()
 	res, err := db.QueryContext(ctx, q.SQL, opts...)
 	if err != nil {

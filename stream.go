@@ -25,18 +25,19 @@ type Stream struct {
 	// Columns are the output column names, in order.
 	Columns []string
 
-	db      *Database
-	cur     *exec.Cursor  // nil for pre-materialized (EXPLAIN) streams
-	ectx    *exec.Context // execution context, for counters at finish
-	rows    [][]any       // pre-materialized rows (EXPLAIN statements)
-	ri      int
-	stop    context.CancelFunc // unwinds lifecycle/timeout contexts
-	release func()             // db in-flight registration
-	start   time.Time
-	stats   ExecStats
-	elapsed time.Duration
-	done    bool
-	err     error
+	db       *Database
+	cur      *exec.Cursor  // nil for pre-materialized (EXPLAIN) streams
+	ectx     *exec.Context // execution context, for counters at finish
+	rows     [][]any       // pre-materialized rows (EXPLAIN statements)
+	ri       int
+	batchBuf [][]any            // NextBatch's reused outer container
+	stop     context.CancelFunc // unwinds lifecycle/timeout contexts
+	release  func()             // db in-flight registration
+	start    time.Time
+	stats    ExecStats
+	elapsed  time.Duration
+	done     bool
+	err      error
 
 	// Tracing: the builder spanning this query (nil when untraced), the
 	// open execute span it finishes, and the plan operator spans are
@@ -148,6 +149,52 @@ func (s *Stream) Next() ([]any, bool, error) {
 	out := make([]any, len(row))
 	for i, v := range row {
 		out[i] = toGo(v)
+	}
+	return out, true, nil
+}
+
+// NextBatch returns the next rows in bulk — up to one engine batch (256
+// rows) per call — in the same Go representations Next uses. ok=false
+// with a nil error marks exhaustion. The returned outer slice is reused
+// by the following NextBatch call; the per-row slices are freshly
+// allocated and may be retained. Mixing Next and NextBatch is allowed:
+// no row is delivered twice. The network server frames results through
+// this path so the engine's batches flow to the wire without a per-row
+// hand-off.
+func (s *Stream) NextBatch() ([][]any, bool, error) {
+	if s.done {
+		return nil, false, s.err
+	}
+	if s.cur == nil { // pre-materialized (EXPLAIN) stream
+		if s.ri >= len(s.rows) {
+			s.done = true
+			return nil, false, nil
+		}
+		out := s.rows[s.ri:]
+		s.ri = len(s.rows)
+		return out, true, nil
+	}
+	b, err := s.cur.NextBatch()
+	if err != nil {
+		s.finish(err)
+		return nil, false, s.err
+	}
+	if b == nil {
+		s.finish(nil)
+		return nil, false, nil
+	}
+	n := b.Len()
+	if cap(s.batchBuf) < n {
+		s.batchBuf = make([][]any, n)
+	}
+	out := s.batchBuf[:n]
+	for i := 0; i < n; i++ {
+		row := b.Row(i)
+		vals := make([]any, len(row))
+		for j, v := range row {
+			vals[j] = toGo(v)
+		}
+		out[i] = vals
 	}
 	return out, true, nil
 }

@@ -1,0 +1,5 @@
+select gapply(select 0, count(*), min(v) from g)
+from (select p_size as k, p_retailprice as v from part where p_size < 10
+      union all
+      select null, p_retailprice from part where p_size >= 45) as u(k, v)
+group by k : g

@@ -17,8 +17,12 @@ type Tagger struct {
 	w    io.Writer
 
 	started bool
-	curKey  string
-	err     error
+	// open tracks whether an element is currently open. curKey alone
+	// cannot: a NULL or empty-string grouping key also escapes to "",
+	// and such a group must still open exactly one element and close it.
+	open   bool
+	curKey string
+	err    error
 }
 
 // NewTagger starts a document on w.
@@ -78,13 +82,15 @@ func (t *Tagger) Row(row []any) error {
 	if !t.started {
 		t.printf("<%s>\n", t.plan.RootTag)
 		t.started = true
+		t.open = false
 		t.curKey = ""
 	}
 	key := t.escaped(row[0])
-	if t.curKey == "" || key != t.curKey {
-		if t.curKey != "" {
+	if !t.open || key != t.curKey {
+		if t.open {
 			t.printf("  </%s>\n", t.plan.ElemTag)
 		}
+		t.open = true
 		t.curKey = key
 		t.printf("  <%s>\n", t.plan.ElemTag)
 		t.printf("    <%s>%s</%s>\n", t.plan.KeyTag, key, t.plan.KeyTag)
@@ -107,7 +113,11 @@ func (t *Tagger) Row(row []any) error {
 				return t.err
 			}
 			if v := row[f.Ordinal]; v != nil {
-				t.printf(" %s=%q", f.Tag, t.escaped(v))
+				// escaped() already XML-escapes quotes, so plain "name="value""
+				// quoting is safe. %q would layer Go-string quoting on top,
+				// doubling backslashes and turning non-printable or non-ASCII
+				// characters into Go \n/\uXXXX escapes inside the document.
+				t.printf(` %s="%s"`, f.Tag, t.escaped(v))
 			}
 		}
 		t.printf(">")
@@ -147,6 +157,11 @@ func asInt(v any) (int64, bool) {
 	case int:
 		return int64(x), true
 	case float64:
+		// Branch ids must be integral: silently truncating 1.7 to branch 1
+		// would route the row's slots into the wrong branch's tags.
+		if float64(int64(x)) != x {
+			return 0, false
+		}
 		return int64(x), true
 	default:
 		return 0, false
@@ -161,9 +176,10 @@ func (t *Tagger) Close() error {
 	if !t.started {
 		t.printf("<%s>\n", t.plan.RootTag)
 		t.started = true
-	} else if t.curKey != "" {
+	} else if t.open {
 		t.printf("  </%s>\n", t.plan.ElemTag)
 	}
+	t.open = false
 	t.printf("</%s>\n", t.plan.RootTag)
 	return t.err
 }

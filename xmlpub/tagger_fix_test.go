@@ -1,0 +1,162 @@
+package xmlpub
+
+import (
+	"encoding/xml"
+	"io"
+	"strings"
+	"testing"
+)
+
+// attrPlan is a two-column wrapped branch: ordinal 2 maps to attribute
+// a, ordinal 3 to element v.
+func attrPlan() *TagPlan {
+	return &TagPlan{RootTag: "r", ElemTag: "e", KeyTag: "k",
+		Branches: []BranchPlan{{
+			Wrap: "c",
+			Fields: []FieldSlot{
+				{Ordinal: 2, Tag: "a", Attr: true},
+				{Ordinal: 3, Tag: "v"},
+			},
+		}}}
+}
+
+// decodeAttrs returns the value of attribute a on every <c> element, as
+// the stdlib decoder sees it — i.e. after XML unescaping. Round-tripping
+// through this is the correctness bar: whatever value went in must come
+// back out.
+func decodeAttrs(t *testing.T, doc string) []string {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	var got []string
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return got
+		}
+		if err != nil {
+			t.Fatalf("decode: %v\n%s", err, doc)
+		}
+		se, ok := tok.(xml.StartElement)
+		if !ok || se.Name.Local != "c" {
+			continue
+		}
+		for _, at := range se.Attr {
+			if at.Name.Local == "a" {
+				got = append(got, at.Value)
+			}
+		}
+	}
+}
+
+// Attribute values must survive the round trip for data the XML escaper
+// leaves alone but Go-string quoting (%q) would mangle: backslashes
+// (doubled by %q), newlines (escaped by xml.EscapeText to &#xA;, but a
+// %q pass would have turned a raw one into literal \n), and
+// non-printable Unicode (%q emits \uXXXX source escapes).
+func TestAttributeValuesRoundTrip(t *testing.T) {
+	values := []string{
+		`back\slash`,
+		`C:\dir\file`,
+		"line1\nline2",
+		"tab\there",
+		"nb\u00a0space", // non-breaking space: not IsPrint, so %q would \u00a0 it
+		"caf\u00e9 – naïve",
+		`quote"inside`,
+	}
+	for _, want := range values {
+		var b strings.Builder
+		rows := [][]any{{int64(1), int64(0), want, "body"}}
+		if err := TagAll(attrPlan(), rows, &b); err != nil {
+			t.Fatalf("%q: %v", want, err)
+		}
+		doc := b.String()
+		if err := checkWellFormed(doc); err != nil {
+			t.Errorf("%q: not well-formed: %v\n%s", want, err, doc)
+			continue
+		}
+		got := decodeAttrs(t, doc)
+		if len(got) != 1 || got[0] != want {
+			t.Errorf("attribute round trip: got %q, want %q\ndoc: %s", got, want, doc)
+		}
+	}
+}
+
+// A NULL grouping key (a supported single-group engine case) must open
+// exactly one element for the whole group and close it. The old
+// curKey == "" sentinel treated every NULL-key row as a group change
+// and dropped the closing tag entirely.
+func TestNullKeyGroupWellFormed(t *testing.T) {
+	var b strings.Builder
+	rows := [][]any{
+		{nil, int64(0), "a1", "b1"},
+		{nil, int64(0), "a2", "b2"},
+		{nil, int64(0), "a3", "b3"},
+	}
+	if err := TagAll(attrPlan(), rows, &b); err != nil {
+		t.Fatal(err)
+	}
+	doc := b.String()
+	if err := checkWellFormed(doc); err != nil {
+		t.Fatalf("not well-formed: %v\n%s", err, doc)
+	}
+	if n := strings.Count(doc, "<e>"); n != 1 {
+		t.Errorf("NULL key opened %d elements, want 1:\n%s", n, doc)
+	}
+	if n := strings.Count(doc, "</e>"); n != 1 {
+		t.Errorf("NULL key closed %d elements, want 1:\n%s", n, doc)
+	}
+}
+
+// Same for a legitimate empty-string key, which also escapes to "".
+func TestEmptyStringKeyWellFormed(t *testing.T) {
+	var b strings.Builder
+	rows := [][]any{
+		{"", int64(0), "a1", "b1"},
+		{"", int64(0), "a2", "b2"},
+	}
+	if err := TagAll(attrPlan(), rows, &b); err != nil {
+		t.Fatal(err)
+	}
+	doc := b.String()
+	if err := checkWellFormed(doc); err != nil {
+		t.Fatalf("not well-formed: %v\n%s", err, doc)
+	}
+	if n := strings.Count(doc, "</e>"); n != 1 {
+		t.Errorf("empty key closed %d elements, want 1:\n%s", n, doc)
+	}
+	// And an empty-string group followed by a real key still splits into
+	// two elements.
+	b.Reset()
+	rows = [][]any{
+		{"", int64(0), "a1", "b1"},
+		{"s1", int64(0), "a2", "b2"},
+	}
+	if err := TagAll(attrPlan(), rows, &b); err != nil {
+		t.Fatal(err)
+	}
+	doc = b.String()
+	if err := checkWellFormed(doc); err != nil {
+		t.Fatalf("not well-formed: %v\n%s", err, doc)
+	}
+	if n := strings.Count(doc, "</e>"); n != 2 {
+		t.Errorf("got %d elements, want 2:\n%s", n, doc)
+	}
+}
+
+// Fractional branch ids are errors, not a silent truncation to the
+// wrong branch.
+func TestFractionalBranchIDRejected(t *testing.T) {
+	for _, id := range []float64{1.7, -0.5, 0.999999} {
+		var b strings.Builder
+		err := TagAll(attrPlan(), [][]any{{int64(1), id, "x", "y"}}, &b)
+		if err == nil || !strings.Contains(err.Error(), "bad branch id") {
+			t.Errorf("branch id %v: got err %v, want bad branch id", id, err)
+		}
+	}
+	// Integral floats remain accepted — the wire value codec may deliver
+	// a branch id as float64.
+	var b strings.Builder
+	if err := TagAll(attrPlan(), [][]any{{int64(1), float64(0), "x", "y"}}, &b); err != nil {
+		t.Errorf("integral float branch id rejected: %v", err)
+	}
+}
