@@ -41,12 +41,14 @@ import (
 func main() {
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor (1.0 = full size)")
 	repeats := flag.Int("repeats", 3, "runs per measurement (min is kept)")
-	exp := flag.String("experiment", "all", "figure8 | table1 | clientsim | spool | plancache | none | all")
+	exp := flag.String("experiment", "all", "figure8 | table1 | clientsim | spool | plancache | order | none | all")
 	dop := flag.Int("dop", 0, "GApply degree of parallelism (0 = GOMAXPROCS, 1 = serial)")
 	timeout := flag.Duration("timeout", 0, "per-query wall-clock limit (0 = unlimited); a query past it fails instead of hanging the run")
 	jsonPath := flag.String("json", "", "write per-query JSON reports (plan hash, trace, operator timings) to this file")
 	comparePath := flag.String("compare", "", "measure the row vs batch execution engines at dop 1 and write the comparison artifact (e.g. BENCH_8.json) to this file")
 	compareBaseline := flag.String("compare-baseline", "", "with -compare: JSON file of per-query minimum speedups; exit non-zero if any measured speedup falls below its floor")
+	orderPath := flag.String("order", "", "measure ordered-index plans against WithoutIndexes at dop 1 and write the comparison artifact (e.g. BENCH_9.json) to this file")
+	orderBaseline := flag.String("order-baseline", "", "with -order: JSON file of per-query minimum speedups; exit non-zero if any measured speedup falls below its floor")
 	remote := flag.String("remote", "", "differential smoke against a gapplyd server at host:port: run the whole suite in-process and over the wire, fail on any byte difference")
 	soak := flag.Int("soak", 0, "with -remote: follow the differential with a concurrency soak of this many clients hammering the server at once")
 	replayDir := flag.String("replay", "", "replay the golden corpus in this directory against -remote (conformance + mixed load), or with -update regenerate its goldens")
@@ -112,6 +114,11 @@ func main() {
 	run("clientsim", printClientSim)
 	run("spool", printSpool)
 	run("plancache", printPlanCache)
+	if *orderPath == "" {
+		// With -order the experiment runs once inside writeOrder; without
+		// it, -experiment order (or all) prints the table alone.
+		run("order", printOrder)
+	}
 
 	if *jsonPath != "" {
 		if err := writeReports(db, *jsonPath); err != nil {
@@ -123,6 +130,99 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *orderPath != "" {
+		if err := writeOrder(db, *orderPath, *orderBaseline); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// orderJSON is an OrderRow with its derived speedup serialized.
+type orderJSON struct {
+	experiments.OrderRow
+	Speedup float64
+}
+
+// measureOrder runs the order-pass workload and prints the table.
+func measureOrder(db *gapplydb.Database) ([]experiments.OrderRow, error) {
+	fmt.Println("== Ordered indexes: index-served plans vs WithoutIndexes (dop 1) ==")
+	fmt.Println("(speedup = no-index elapsed ÷ indexed elapsed; outputs are verified")
+	fmt.Println(" byte-identical before either timing is reported)")
+	fmt.Println()
+	rows, err := experiments.Order(db)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("%-14s %14s %14s %10s %10s\n", "query", "no index", "indexed", "speedup", "rows")
+	for _, r := range rows {
+		fmt.Printf("%-14s %14v %14v %9.2fx %10d\n",
+			r.Query, r.NoIndex.Round(time.Microsecond), r.Indexed.Round(time.Microsecond), r.Speedup(), r.Rows)
+	}
+	fmt.Println()
+	return rows, nil
+}
+
+func printOrder(db *gapplydb.Database) error {
+	_, err := measureOrder(db)
+	return err
+}
+
+// writeOrder measures the order-pass workload, writes the artifact, and
+// — when a baseline of per-query minimum speedups is supplied — fails
+// the run on any regression below a floor.
+func writeOrder(db *gapplydb.Database, path, baselinePath string) error {
+	rows, err := measureOrder(db)
+	if err != nil {
+		return err
+	}
+	var out struct{ Order []orderJSON }
+	for _, r := range rows {
+		out.Order = append(out.Order, orderJSON{OrderRow: r, Speedup: r.Speedup()})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d order comparisons to %s\n", len(rows), path)
+	if baselinePath == "" {
+		return nil
+	}
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base struct {
+		MinSpeedup map[string]float64 `json:"min_speedup"`
+	}
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("order baseline %s: %w", baselinePath, err)
+	}
+	byName := make(map[string]experiments.OrderRow, len(rows))
+	for _, r := range rows {
+		byName[r.Query] = r
+	}
+	var failures []string
+	for name, floor := range base.MinSpeedup {
+		r, ok := byName[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: in baseline but not measured", name))
+			continue
+		}
+		if r.Speedup() < floor {
+			failures = append(failures, fmt.Sprintf("%s: speedup %.2fx below floor %.2fx", name, r.Speedup(), floor))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "order regression:", f)
+		}
+		return fmt.Errorf("%d ordered-index regression(s) against %s", len(failures), baselinePath)
+	}
+	fmt.Printf("all %d baseline floors in %s hold\n", len(base.MinSpeedup), baselinePath)
+	return nil
 }
 
 // compareJSON is a CompareRow with its derived speedup serialized.

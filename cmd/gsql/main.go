@@ -138,6 +138,15 @@ func (s *shell) meta(cmd string, w io.Writer) bool {
 		for _, t := range s.db.Tables() {
 			fmt.Fprintln(w, " ", t)
 		}
+	case cmd == `\indexes`:
+		ixs := s.db.Indexes()
+		if len(ixs) == 0 {
+			fmt.Fprintln(w, "no indexes")
+			break
+		}
+		for _, ix := range ixs {
+			fmt.Fprintf(w, "  %s on %s (%s)\n", ix.Name, ix.Table, strings.Join(ix.Columns, ", "))
+		}
 	case cmd == `\metrics`:
 		fmt.Fprint(w, s.db.Metrics().String())
 	case cmd == `\timeout`:

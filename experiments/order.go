@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"time"
+
+	"gapplydb"
+)
+
+// OrderRow is one query measured with the ordered-index machinery on
+// (the default) and off (WithoutIndexes): index-served ORDER BY versus
+// a full sort, merge join versus hash join, ordered GApply partitioning
+// versus the partition-phase sort. The outputs are verified identical
+// before either timing is trusted — indexes are an access-path choice,
+// never a semantics choice.
+type OrderRow struct {
+	Query string
+	// NoIndex/Indexed are the minimum elapsed times across CompareRepeats
+	// runs with the order pass disabled and enabled.
+	NoIndex time.Duration
+	Indexed time.Duration
+	// Rows is the result cardinality (identical either way).
+	Rows int
+}
+
+// Speedup is the ordered plan's advantage: no-index time ÷ indexed time.
+func (r OrderRow) Speedup() float64 { return Ratio(r.NoIndex, r.Indexed) }
+
+// orderQueries is the order-pass workload. Each query isolates one
+// consumer of index order; all run at dop 1 so the partition phase and
+// per-row costs are not hidden by parallelism.
+func orderQueries() []struct {
+	name, sql string
+	opts      []gapplydb.QueryOption
+} {
+	return []struct {
+		name, sql string
+		opts      []gapplydb.QueryOption
+	}{
+		// ORDER BY served by an index: the no-index plan sorts every
+		// lineitem row; the indexed plan gathers the presorted run and
+		// elides the sort entirely.
+		{"orderby_scan",
+			"select l_suppkey, l_orderkey, l_quantity from lineitem order by l_suppkey",
+			nil},
+		// Range + ORDER BY: the seek bounds skip most of the run before
+		// the (still present, now redundant) filter.
+		{"orderby_range",
+			"select ps_suppkey, ps_partkey, ps_availqty from partsupp where ps_suppkey >= 10 and ps_suppkey < 20 order by ps_suppkey",
+			nil},
+		// Merge join: a small probe side against a large sorted run. The
+		// cost model only picks merge in this shape — a hash probe is
+		// O(1) while the merge probe pays the binary search's log factor,
+		// so merge wins by skipping the large side's hash build, not on
+		// per-probe work.
+		{"merge_join",
+			"select c_name, o_orderkey, o_totalprice from customer, orders where c_custkey = o_custkey",
+			nil},
+		// Sort-partitioned GApply whose outer arrives in group-key order
+		// through the index: the partition phase cuts runs instead of
+		// sorting. The detail+summary inner keeps the GApply a real
+		// GApply (a pure-aggregate inner would collapse to a GroupBy).
+		{"sorted_gapply",
+			"select gapply(select 0, l_partkey, l_quantity from g union all select 1, null, sum(l_quantity) from g) from lineitem group by l_suppkey : g",
+			[]gapplydb.QueryOption{gapplydb.WithPartition("sort")}},
+	}
+}
+
+// Order measures the order-pass workload with indexes on and off at
+// serial degree. Every pair of runs is checked for identical output
+// order and content before its timings are reported.
+func Order(db *gapplydb.Database) ([]OrderRow, error) {
+	var out []OrderRow
+	for _, q := range orderQueries() {
+		noOpts := append([]gapplydb.QueryOption{gapplydb.WithDOP(1), gapplydb.WithoutIndexes()}, q.opts...)
+		nt, nres, err := timeEngine(db, q.sql, noOpts...)
+		if err != nil {
+			return nil, err
+		}
+		ixOpts := append([]gapplydb.QueryOption{gapplydb.WithDOP(1)}, q.opts...)
+		it, ires, err := timeEngine(db, q.sql, ixOpts...)
+		if err != nil {
+			return nil, err
+		}
+		if err := sameResult(q.name, nres, ires); err != nil {
+			return nil, err
+		}
+		out = append(out, OrderRow{Query: q.name, NoIndex: nt, Indexed: it, Rows: len(ires.Rows)})
+	}
+	return out, nil
+}

@@ -93,14 +93,82 @@ func Open() *Database {
 
 // OpenTPCH creates a database loaded with the TPC-H-style data set at
 // the given scale factor (1.0 ≈ the paper's schema at full row counts;
-// 0.01 is comfortable for a laptop).
+// 0.01 is comfortable for a laptop). Every primary- and foreign-key
+// column gets an ordered secondary index, built eagerly so the first
+// query does not pay the sort.
 func OpenTPCH(scaleFactor float64) (*Database, error) {
 	db := newDatabase()
 	if err := tpch.Load(db.cat, scaleFactor); err != nil {
 		return nil, err
 	}
+	if err := db.buildTPCHIndexes(); err != nil {
+		return nil, err
+	}
 	db.RefreshStats()
 	return db, nil
+}
+
+// buildTPCHIndexes creates the single-column ordered indexes on the
+// TPC-H key and foreign-key columns — the access paths the planner's
+// order pass uses to serve ORDER BY, merge joins and sort-partitioned
+// GApply — and forces each run to build now rather than on first use.
+func (db *Database) buildTPCHIndexes() error {
+	keyCols := map[string][]string{
+		"region":   {"r_regionkey"},
+		"nation":   {"n_nationkey", "n_regionkey"},
+		"supplier": {"s_suppkey", "s_nationkey"},
+		"part":     {"p_partkey"},
+		"partsupp": {"ps_partkey", "ps_suppkey"},
+		"customer": {"c_custkey", "c_nationkey"},
+		"orders":   {"o_orderkey", "o_custkey"},
+		"lineitem": {"l_orderkey", "l_partkey", "l_suppkey"},
+	}
+	for table, cols := range keyCols {
+		tab, err := db.cat.Lookup(table)
+		if err != nil {
+			return err
+		}
+		for _, col := range cols {
+			ix, err := db.cat.CreateIndex("idx_"+table+"_"+col, table, col)
+			if err != nil {
+				return err
+			}
+			ix.Run(tab)
+		}
+	}
+	return nil
+}
+
+// CreateIndex registers an ordered secondary index over the named
+// columns of a table. All index orderings are ascending with ties in
+// insertion order; the planner uses indexes to serve ORDER BY without
+// sorting, to run merge joins, and to feed sort-partitioned GApply —
+// never changing a single output byte relative to the index-free plan.
+// Creating an index invalidates cached plans implicitly (the cache key
+// carries the catalog version).
+func (db *Database) CreateIndex(name, table string, columns ...string) error {
+	_, err := db.cat.CreateIndex(name, table, columns...)
+	return err
+}
+
+// DropIndex removes an index by name.
+func (db *Database) DropIndex(name string) error { return db.cat.DropIndex(name) }
+
+// IndexInfo describes one ordered secondary index.
+type IndexInfo struct {
+	Name    string
+	Table   string
+	Columns []string
+}
+
+// Indexes lists the database's secondary indexes sorted by name.
+func (db *Database) Indexes() []IndexInfo {
+	ixs := db.cat.Indexes()
+	out := make([]IndexInfo, len(ixs))
+	for i, ix := range ixs {
+		out[i] = IndexInfo{Name: ix.Name, Table: ix.Table, Columns: append([]string(nil), ix.Cols...)}
+	}
+	return out
 }
 
 // ErrDatabaseClosed is returned by every query entry point after Close.
@@ -375,6 +443,15 @@ func WithoutPlanCache() QueryOption {
 // benchmark use it; there is no reason to set it in production.
 func WithoutSpooling() QueryOption {
 	return func(c *queryConfig) { c.noSpool = true }
+}
+
+// WithoutIndexes plans the query as if no secondary indexes existed:
+// no index scans, no sort elision, no merge joins, no ordered GApply
+// partitioning. Output is byte-identical either way — that invariant is
+// what the differential tests assert — so the option exists for them
+// and for before/after benchmarking, not for production use.
+func WithoutIndexes() QueryOption {
+	return func(c *queryConfig) { c.optOpts.DisableIndexes = true }
 }
 
 // WithRowExecution runs the query on the row-at-a-time (Volcano)

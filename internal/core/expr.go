@@ -236,6 +236,40 @@ func AndAll(exprs []Expr) Expr {
 	}
 }
 
+// CmpColLit matches a comparison of a column with a literal, returning
+// the normalized (column, literal, operator-with-column-on-left) — nil
+// column when the comparison has any other shape. Shared by the cost
+// model's selectivity estimation and the order pass's range pushdown.
+func CmpColLit(c *Cmp) (*ColRef, types.Value, string) {
+	if col, ok := c.L.(*ColRef); ok {
+		if l, ok := c.R.(*Lit); ok {
+			return col, l.V, c.Op
+		}
+	}
+	if col, ok := c.R.(*ColRef); ok {
+		if l, ok := c.L.(*Lit); ok {
+			return col, l.V, FlipCmpOp(c.Op)
+		}
+	}
+	return nil, types.Null, ""
+}
+
+// FlipCmpOp mirrors an inequality for operand swap (5 < x ⇔ x > 5).
+func FlipCmpOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	default:
+		return op
+	}
+}
+
 // ColRefsIn collects all ColRefs (not OuterRefs) in the expression.
 func ColRefsIn(e Expr) []*ColRef {
 	var out []*ColRef

@@ -47,6 +47,67 @@ func (s *Scan) Describe() string {
 	return "Scan " + s.Table
 }
 
+// ----------------------------------------------------------- IndexScan
+
+// IndexScan reads a base table through an ordered secondary index: rows
+// come out in the index's key order (ascending, ties in heap position
+// order — the stable-sort tie rule), optionally restricted to a key
+// range on the single index column. It is a physical access path placed
+// by the optimizer's order pass; the binder never produces one.
+type IndexScan struct {
+	Table string
+	Def   *schema.TableDef
+	// Alias re-qualifies the table's columns (FROM t AS a).
+	Alias string
+	// Index names the catalog index; Cols are its key columns and Ords
+	// their ordinals in the table schema.
+	Index string
+	Cols  []string
+	Ords  []int
+	// Optional bounds on the (single) key column. A bound is applied
+	// during the scan: only rows whose key is within [Lo, Hi] (openness
+	// per LoIncl/HiIncl) are emitted, still in index order. NULL keys
+	// never satisfy a bound.
+	Lo, Hi         types.Value
+	HasLo, HasHi   bool
+	LoIncl, HiIncl bool
+}
+
+func (s *IndexScan) Schema() *schema.Schema {
+	if s.Alias != "" {
+		return s.Def.Schema.Rename(s.Alias)
+	}
+	return s.Def.Schema
+}
+func (s *IndexScan) Children() []Node         { return nil }
+func (s *IndexScan) WithChildren([]Node) Node { c := *s; return &c }
+func (s *IndexScan) Describe() string {
+	d := "IndexScan " + s.Table
+	if s.Alias != "" && s.Alias != s.Table {
+		d += " AS " + s.Alias
+	}
+	d += " using " + s.Index
+	if s.HasLo || s.HasHi {
+		var parts []string
+		if s.HasLo {
+			op := ">"
+			if s.LoIncl {
+				op = ">="
+			}
+			parts = append(parts, s.Cols[0]+" "+op+" "+s.Lo.SQLLiteral())
+		}
+		if s.HasHi {
+			op := "<"
+			if s.HiIncl {
+				op = "<="
+			}
+			parts = append(parts, s.Cols[0]+" "+op+" "+s.Hi.SQLLiteral())
+		}
+		d += " [" + strings.Join(parts, " AND ") + "]"
+	}
+	return d
+}
+
 // ---------------------------------------------------------- GroupScan
 
 // GroupScan is the leaf of a per-group query: it reads the temporary
@@ -180,6 +241,11 @@ const (
 	JoinAuto JoinMethod = iota
 	JoinHash
 	JoinNestedLoops
+	// JoinMerge probes the right input's sorted run (the right child must
+	// provide the equi-key order, e.g. via an IndexScan) with streaming
+	// left rows. Emission order is identical to JoinHash by construction:
+	// left-major in left-input order, matches in right-input order.
+	JoinMerge
 )
 
 // Join combines two inputs on a condition.
@@ -204,7 +270,14 @@ func (j *Join) Describe() string {
 	if j.Cond != nil {
 		cond = j.Cond.String()
 	}
-	return kind + " on " + cond
+	d := kind + " on " + cond
+	// Only the merge method is physically visible in the plan shape (it
+	// requires an order-providing right child); hash/NL stay unlabeled so
+	// their plan hashes are undisturbed.
+	if j.Method == JoinMerge {
+		d += " (merge)"
+	}
+	return d
 }
 
 // EquiPairs extracts the equality column pairs (left-side, right-side)
@@ -372,12 +445,18 @@ type OrderKey struct {
 type OrderBy struct {
 	Input Node
 	Keys  []OrderKey
+	// Elided marks a sort the optimizer proved redundant: the input
+	// already provides exactly this ordering (same keys, same tie order),
+	// so execution passes rows through. The node stays in the plan — it
+	// keeps its EXPLAIN line, its profile identity and its spool keying —
+	// only the sort work disappears.
+	Elided bool
 }
 
 func (o *OrderBy) Schema() *schema.Schema { return o.Input.Schema() }
 func (o *OrderBy) Children() []Node       { return []Node{o.Input} }
 func (o *OrderBy) WithChildren(ch []Node) Node {
-	return &OrderBy{Input: ch[0], Keys: o.Keys}
+	return &OrderBy{Input: ch[0], Keys: o.Keys, Elided: o.Elided}
 }
 func (o *OrderBy) Describe() string {
 	keys := make([]string, len(o.Keys))
@@ -387,7 +466,11 @@ func (o *OrderBy) Describe() string {
 			keys[i] += " DESC"
 		}
 	}
-	return "OrderBy " + strings.Join(keys, ", ")
+	d := "OrderBy " + strings.Join(keys, ", ")
+	if o.Elided {
+		d += " [elided]"
+	}
+	return d
 }
 
 // ------------------------------------------------------------- UnionAll

@@ -27,6 +27,7 @@ type bgapply struct {
 	ords         []int
 	groupVar     string
 	sortPart     bool
+	ordered      bool // outer provides the group-key ordering (index path)
 	correlated   bool
 	spools       *spoolRegistry
 
@@ -54,9 +55,12 @@ func (g *bgapply) Open() error {
 	if err != nil {
 		return err
 	}
-	if g.sortPart {
+	switch {
+	case g.sortPart && g.ordered:
+		g.groups, err = partitionOrdered(rows, g.ords, g.ctx, g.plan)
+	case g.sortPart:
 		g.groups, err = partitionBySort(rows, g.ords, g.ctx, g.plan)
-	} else {
+	default:
 		g.groups, err = partitionByHash(rows, g.ords, g.ctx, g.plan)
 	}
 	if err != nil {

@@ -51,6 +51,12 @@ func buildNode(n core.Node, ctx *Context, env compileEnv) (Iterator, error) {
 		}
 		return &tableScan{table: tab, ctx: ctx}, nil
 
+	case *core.IndexScan:
+		if err := checkIndexScan(x, ctx); err != nil {
+			return nil, err
+		}
+		return &indexScan{plan: x, ctx: ctx}, nil
+
 	case *core.GroupScan:
 		return &groupScan{varName: x.Var, ctx: ctx}, nil
 
@@ -116,6 +122,13 @@ func buildNode(n core.Node, ctx *Context, env compileEnv) (Iterator, error) {
 		return buildScalarAgg(x, ctx, env)
 
 	case *core.OrderBy:
+		if x.Elided {
+			// The optimizer proved the input provides exactly this
+			// ordering; the node compiles to a pass-through. Its probe
+			// wrapper (in build) still counts rows, so EXPLAIN ANALYZE
+			// keeps the operator's line with sort work elided.
+			return build(x.Input, ctx, env)
+		}
 		in, err := build(x.Input, ctx, env)
 		if err != nil {
 			return nil, err

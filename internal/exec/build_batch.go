@@ -91,6 +91,12 @@ func buildBatchNode(n core.Node, ctx *Context, env compileEnv) (BatchIterator, e
 		}
 		return &bScan{table: tab, ctx: ctx}, nil
 
+	case *core.IndexScan:
+		if err := checkIndexScan(x, ctx); err != nil {
+			return nil, err
+		}
+		return &bIndexScan{plan: x, ctx: ctx}, nil
+
 	case *core.GroupScan:
 		return &bGroupScan{varName: x.Var, ctx: ctx}, nil
 
@@ -218,6 +224,12 @@ func buildBatchNode(n core.Node, ctx *Context, env compileEnv) (BatchIterator, e
 		return &bScalarAgg{input: in, aggs: aggs, ctx: ctx}, nil
 
 	case *core.OrderBy:
+		if x.Elided {
+			// Pass-through, mirroring build: the input already provides
+			// this exact ordering, the probe wrapper keeps the operator's
+			// EXPLAIN ANALYZE line.
+			return buildBatch(x.Input, ctx, env)
+		}
 		in, err := buildBatch(x.Input, ctx, env)
 		if err != nil {
 			return nil, err
@@ -314,7 +326,30 @@ func buildBatchJoin(j *core.Join, postCond core.Expr, ctx *Context, env compileE
 	}
 	leftArity := j.Left.Schema().Len()
 	rightArity := j.Right.Schema().Len()
-	if method == core.JoinHash && len(pairs) > 0 {
+	if method == core.JoinMerge && len(pairs) == 1 {
+		ls, rs := j.Left.Schema(), j.Right.Schema()
+		lo, err := ls.Resolve(pairs[0].Left.Table, pairs[0].Left.Name)
+		if err != nil {
+			return nil, err
+		}
+		ro, err := rs.Resolve(pairs[0].Right.Table, pairs[0].Right.Name)
+		if err != nil {
+			return nil, err
+		}
+		// Same residual-free proof as the hash path below: the order-key
+		// encoding is canonical over value equality, so an equal-range hit
+		// cannot fail a condition the equi-pair fully covers.
+		if len(core.ConjunctsOf(j.Cond)) == len(pairs) {
+			pred = nil
+		}
+		return &bMergeJoin{
+			left: left, right: right, pred: pred, post: post, ctx: ctx,
+			leftOrd: lo, rightOrd: ro,
+			outerJoin: j.Kind == core.LeftOuterJoin, rightArity: rightArity,
+			width: leftArity + rightArity,
+		}, nil
+	}
+	if (method == core.JoinHash || method == core.JoinMerge) && len(pairs) > 0 {
 		leftOrds := make([]int, len(pairs))
 		rightOrds := make([]int, len(pairs))
 		ls, rs := j.Left.Schema(), j.Right.Schema()
@@ -386,6 +421,7 @@ func buildBatchGApply(g *core.GApply, ctx *Context, env compileEnv) (BatchIterat
 		ords:       ords,
 		groupVar:   g.GroupVar,
 		sortPart:   g.Partition == core.PartitionSort,
+		ordered:    core.GApplyOuterOrdered(g),
 		correlated: len(core.OuterRefsIn(g.Inner)) > 0,
 	}, nil
 }

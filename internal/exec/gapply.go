@@ -52,6 +52,7 @@ func buildGApply(g *core.GApply, ctx *Context, env compileEnv) (Iterator, error)
 		ords:      ords,
 		groupVar:  g.GroupVar,
 		sortPart:  g.Partition == core.PartitionSort,
+		ordered:   core.GApplyOuterOrdered(g),
 		// An inner with outer references reads rows the enclosing Apply
 		// pushes onto the shared context's stack as it iterates; that
 		// state cannot be snapshotted per worker, so such inners run
@@ -90,6 +91,7 @@ type gapply struct {
 	ords         []int
 	groupVar     string
 	sortPart     bool
+	ordered      bool // outer provides the group-key ordering (index path)
 	correlated   bool
 	spools       *spoolRegistry // nil when the inner has no invariant subtrees
 
@@ -117,9 +119,12 @@ func (g *gapply) Open() error {
 	if err != nil {
 		return err
 	}
-	if g.sortPart {
+	switch {
+	case g.sortPart && g.ordered:
+		g.groups, err = partitionOrdered(rows, g.ords, g.ctx, g.plan)
+	case g.sortPart:
 		g.groups, err = partitionBySort(rows, g.ords, g.ctx, g.plan)
-	} else {
+	default:
 		g.groups, err = partitionByHash(rows, g.ords, g.ctx, g.plan)
 	}
 	if err != nil {
@@ -222,7 +227,46 @@ func partitionByHash(rows []types.Row, ords []int, ctx *Context, plan *core.GApp
 // partitionBySort sorts rows on the grouping columns and cuts runs,
 // copying rows into the sorted temporary storage (see partitionByHash).
 func partitionBySort(rows []types.Row, ords []int, ctx *Context, plan *core.GApply) ([][]types.Row, error) {
-	sorted := make([]types.Row, len(rows))
+	sorted, err := clonePartitionRows(rows, ctx, plan)
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return types.CompareRows(sorted[i], sorted[j], ords, nil) < 0
+	})
+	return cutGroupRuns(sorted, ords), nil
+}
+
+// partitionOrdered cuts group runs from an outer stream the optimizer
+// proved already arrives in ascending group-key order (an ordered index
+// access path): identical clones, budget charges, cancellation points
+// and resulting groups to partitionBySort — an already-ordered input is
+// a fixed point of the stable sort — minus the O(n log n) sort itself.
+// A violated order expectation (a planner bug, not a data property)
+// falls back to the stable sort rather than emit misgrouped output; the
+// verification is one comparison per row, paid inside the run cut
+// anyway.
+func partitionOrdered(rows []types.Row, ords []int, ctx *Context, plan *core.GApply) ([][]types.Row, error) {
+	sorted, err := clonePartitionRows(rows, ctx, plan)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(sorted); i++ {
+		if types.CompareRows(sorted[i-1], sorted[i], ords, nil) > 0 {
+			sort.SliceStable(sorted, func(a, b int) bool {
+				return types.CompareRows(sorted[a], sorted[b], ords, nil) < 0
+			})
+			break
+		}
+	}
+	return cutGroupRuns(sorted, ords), nil
+}
+
+// clonePartitionRows copies the drained outer rows into the partition's
+// temporary storage, charging the budget and polling cancellation per
+// row — the shared front half of both sort-family partitioners.
+func clonePartitionRows(rows []types.Row, ctx *Context, plan *core.GApply) ([]types.Row, error) {
+	cloned := make([]types.Row, len(rows))
 	for i, r := range rows {
 		if err := ctx.tick(); err != nil {
 			return nil, err
@@ -230,11 +274,13 @@ func partitionBySort(rows []types.Row, ords []int, ctx *Context, plan *core.GApp
 		if err := chargePartition(ctx, plan, r); err != nil {
 			return nil, err
 		}
-		sorted[i] = r.Clone()
+		cloned[i] = r.Clone()
 	}
-	sort.SliceStable(sorted, func(i, j int) bool {
-		return types.CompareRows(sorted[i], sorted[j], ords, nil) < 0
-	})
+	return cloned, nil
+}
+
+// cutGroupRuns splits key-ordered rows into their group runs.
+func cutGroupRuns(sorted []types.Row, ords []int) [][]types.Row {
 	var groups [][]types.Row
 	start := 0
 	for i := 1; i <= len(sorted); i++ {
@@ -243,7 +289,7 @@ func partitionBySort(rows []types.Row, ords []int, ctx *Context, plan *core.GApp
 			start = i
 		}
 	}
-	return groups, nil
+	return groups
 }
 
 // advance binds the next group and opens the per-group query over it

@@ -29,7 +29,23 @@ func buildJoin(j *core.Join, ctx *Context, env compileEnv) (Iterator, error) {
 		}
 	}
 	rightArity := j.Right.Schema().Len()
-	if method == core.JoinHash && len(pairs) > 0 {
+	if method == core.JoinMerge && len(pairs) == 1 {
+		ls, rs := j.Left.Schema(), j.Right.Schema()
+		lo, err := ls.Resolve(pairs[0].Left.Table, pairs[0].Left.Name)
+		if err != nil {
+			return nil, err
+		}
+		ro, err := rs.Resolve(pairs[0].Right.Table, pairs[0].Right.Name)
+		if err != nil {
+			return nil, err
+		}
+		return &mergeJoin{
+			left: left, right: right, pred: pred, ctx: ctx,
+			leftOrd: lo, rightOrd: ro,
+			outerJoin: j.Kind == core.LeftOuterJoin, rightArity: rightArity,
+		}, nil
+	}
+	if (method == core.JoinHash || method == core.JoinMerge) && len(pairs) > 0 {
 		leftOrds := make([]int, len(pairs))
 		rightOrds := make([]int, len(pairs))
 		ls, rs := j.Left.Schema(), j.Right.Schema()

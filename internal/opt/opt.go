@@ -37,6 +37,11 @@ type Options struct {
 	// SkipOptimization returns the bound plan untouched except for
 	// physical hints — the "no optimizer" baseline.
 	SkipOptimization bool
+	// DisableIndexes turns the order-placement pass off: no IndexScans,
+	// no sort elision, no merge joins, no ordered GApply outers. The
+	// differential harness compares against this baseline; outputs must
+	// be byte-identical either way.
+	DisableIndexes bool
 }
 
 // Fingerprint renders the options in a canonical textual form: equal
@@ -54,8 +59,8 @@ func (o Options) Fingerprint() string {
 		sort.Strings(on)
 		return strings.Join(on, ",")
 	}
-	return fmt.Sprintf("disable=%s;force=%s;partition=%d;skip=%t",
-		names(o.DisableRules), names(o.ForceRules), o.Partition, o.SkipOptimization)
+	return fmt.Sprintf("disable=%s;force=%s;partition=%d;skip=%t;noidx=%t",
+		names(o.DisableRules), names(o.ForceRules), o.Partition, o.SkipOptimization, o.DisableIndexes)
 }
 
 // Optimizer rewrites logical plans.
@@ -153,9 +158,15 @@ func (o *Optimizer) OptimizeTraced(plan core.Node, opts Options) (core.Node, []R
 }
 
 // physical assigns physical strategies: the GApply partitioning (hash vs
-// sort, §3's two Partition-phase implementations) and join methods.
+// sort, §3's two Partition-phase implementations) and join methods, then
+// the order-placement pass. The ordering between the two halves is a
+// correctness property, not a convenience: partitioning and join-method
+// decisions are made over index-free plans, so enabling indexes can
+// never flip hash↔sort or change which rows flow where — it only swaps
+// access paths and removes sort work inside the shape already chosen.
+// That is what keeps indexes-on and indexes-off outputs byte-identical.
 func (o *Optimizer) physical(plan core.Node, opts Options) core.Node {
-	return core.Transform(plan, func(n core.Node) core.Node {
+	plan = core.Transform(plan, func(n core.Node) core.Node {
 		switch x := n.(type) {
 		case *core.GApply:
 			if x.Partition != core.PartitionAuto {
@@ -186,6 +197,90 @@ func (o *Optimizer) physical(plan core.Node, opts Options) core.Node {
 			} else {
 				cp.Method = core.JoinNestedLoops
 			}
+			return &cp
+		default:
+			return n
+		}
+	})
+	if !opts.DisableIndexes {
+		plan = o.placeOrder(plan)
+	}
+	return plan
+}
+
+// placeOrder is the order-placement pass: it finds the plan's
+// interesting orders — ORDER BY keys, a hash join's right equi-key, a
+// sort-partitioned GApply's group columns — and asks the rules substrate
+// (rules.ProvideOrdering) to rewrite the subtree below each into one
+// that delivers the order from an ordered index. Every rewrite is
+// output-preserving by construction (stable-sorted index runs equal the
+// stable sorts they replace), so acceptance is purely about cost:
+//   - OrderBy: elide the sort whenever the input can provide the exact
+//     ordering — strictly less work, no cost check needed.
+//   - Join: a merge alternative replaces hash only when the cost model
+//     prefers it (the emitted rows are identical either way).
+//   - GApply (sort partitioning, already chosen): an ordered outer turns
+//     the partitioning sort into a linear run cut — again strictly less
+//     work. The hash-vs-sort choice itself happened before this pass and
+//     is never revisited.
+func (o *Optimizer) placeOrder(plan core.Node) core.Node {
+	return core.Transform(plan, func(n core.Node) core.Node {
+		switch x := n.(type) {
+		case *core.OrderBy:
+			if x.Elided {
+				return n
+			}
+			want, ok := core.RequiredOrdering(x.Keys, x.Input.Schema())
+			if !ok {
+				return n
+			}
+			in, ok := rules.ProvideOrdering(x.Input, want, o.cat)
+			if !ok {
+				return n
+			}
+			return &core.OrderBy{Input: in, Keys: x.Keys, Elided: true}
+		case *core.Join:
+			if x.Method != core.JoinHash {
+				return n
+			}
+			pairs := x.EquiPairs()
+			if len(pairs) != 1 {
+				// Multi-key merge would need a composite index probe; the
+				// single-key case is the paper's sort/merge sweet spot.
+				return n
+			}
+			want, ok := core.CanonOrderedCol(pairs[0].Right, x.Right.Schema(), false)
+			if !ok {
+				return n
+			}
+			right, ok := rules.ProvideOrdering(x.Right, []core.OrderedCol{want}, o.cat)
+			if !ok {
+				return n
+			}
+			merge := &core.Join{Left: x.Left, Right: right, Kind: x.Kind, Cond: x.Cond, Method: core.JoinMerge}
+			if o.est.Estimate(merge).Cost < o.est.Estimate(x).Cost {
+				return merge
+			}
+			return n
+		case *core.GApply:
+			if x.Partition != core.PartitionSort || core.GApplyOuterOrdered(x) {
+				return n
+			}
+			sch := x.Outer.Schema()
+			want := make([]core.OrderedCol, 0, len(x.GroupCols))
+			for _, c := range x.GroupCols {
+				oc, ok := core.CanonOrderedCol(c, sch, false)
+				if !ok {
+					return n
+				}
+				want = append(want, oc)
+			}
+			outer, ok := rules.ProvideOrdering(x.Outer, want, o.cat)
+			if !ok {
+				return n
+			}
+			cp := *x
+			cp.Outer = outer
 			return &cp
 		default:
 			return n

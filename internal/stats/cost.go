@@ -4,7 +4,6 @@ import (
 	"math"
 
 	"gapplydb/internal/core"
-	"gapplydb/internal/types"
 )
 
 // Estimate is a cardinality + cost estimate for a plan node.
@@ -25,6 +24,8 @@ const (
 	cSortRow    = 1.0 // multiplied by log2(n)
 	cGroupRow   = 1.8 // partition/aggregate bookkeeping per row
 	cEmitRow    = 0.1
+	cIndexRow   = 1.05 // sorted-run gather: heap fetch through one indirection
+	cMergeRow   = 0.5  // merge join per-row work: stream left, binary-probe right
 )
 
 // Estimator derives cardinalities and costs from collected statistics.
@@ -75,6 +76,27 @@ func (e *Estimator) estimate(n core.Node) Estimate {
 		rows := float64(e.Stats.TableRows(x.Table))
 		return Estimate{Rows: rows, Cost: rows * cScanRow}
 
+	case *core.IndexScan:
+		// Reading through the sorted run costs slightly more per row than
+		// a heap scan (position indirection) but delivers rows in key
+		// order — the savings show up as elided sorts above, not here.
+		rows := float64(e.Stats.TableRows(x.Table))
+		if x.HasLo {
+			op := ">"
+			if x.LoIncl {
+				op = ">="
+			}
+			rows *= e.Stats.RangeSelectivity(x.Table, x.Cols[0], op, x.Lo)
+		}
+		if x.HasHi {
+			op := "<"
+			if x.HiIncl {
+				op = "<="
+			}
+			rows *= e.Stats.RangeSelectivity(x.Table, x.Cols[0], op, x.Hi)
+		}
+		return Estimate{Rows: rows, Cost: rows * cIndexRow}
+
 	case *core.GroupScan:
 		rows := e.groupRows
 		if rows <= 0 {
@@ -116,7 +138,17 @@ func (e *Estimator) estimate(n core.Node) Estimate {
 		if x.Kind == core.LeftOuterJoin && rows < l.Rows {
 			rows = l.Rows
 		}
-		cost := l.Cost + r.Cost + r.Rows*cHashRow + l.Rows*cHashRow + rows*cEmitRow
+		joinWork := r.Rows*cHashRow + l.Rows*cHashRow
+		if x.Method == core.JoinMerge {
+			// The right child delivers the equi-key order (index scan), so
+			// the join neither builds nor probes a hash table: it encodes
+			// the sorted right run and binary-searches it per left row.
+			// The probe carries the search's log factor — a hash probe is
+			// O(1), so merge only wins when the left (probe) side is small
+			// relative to the hash build+probe work it avoids.
+			joinWork = r.Rows*cMergeRow + l.Rows*cMergeRow*math.Log2(math.Max(r.Rows, 2))
+		}
+		cost := l.Cost + r.Cost + joinWork + rows*cEmitRow
 		return Estimate{Rows: rows, Cost: cost}
 
 	case *core.GroupBy:
@@ -130,6 +162,10 @@ func (e *Estimator) estimate(n core.Node) Estimate {
 
 	case *core.OrderBy:
 		in := e.Estimate(x.Input)
+		if x.Elided {
+			// The input already provides the order; the node is a marker.
+			return Estimate{Rows: in.Rows, Cost: in.Cost}
+		}
 		return Estimate{Rows: in.Rows, Cost: in.Cost + sortCost(in.Rows)}
 
 	case *core.UnionAll:
@@ -193,6 +229,11 @@ func (e *Estimator) estimateGApply(g *core.GApply) Estimate {
 	partition := outer.Rows * cHashRow
 	if g.Partition == core.PartitionSort {
 		partition = sortCost(outer.Rows)
+		if core.GApplyOuterOrdered(g) {
+			// The outer streams in group order already: partitioning is a
+			// single linear run-cutting pass, no sort.
+			partition = outer.Rows * cFilterRow
+		}
 	}
 	return Estimate{
 		Rows: groups * math.Max(perGroup.Rows, 1),
@@ -240,7 +281,7 @@ func (e *Estimator) selectivity(cond core.Expr, rows float64) float64 {
 	case *core.Not:
 		return clampSel(1 - e.selectivity(x.Op, rows))
 	case *core.Cmp:
-		col, lit, op := cmpColLit(x)
+		col, lit, op := core.CmpColLit(x)
 		if col == nil {
 			// col-to-col or computed comparison.
 			if x.Op == "=" {
@@ -258,37 +299,6 @@ func (e *Estimator) selectivity(cond core.Expr, rows float64) float64 {
 		}
 	default:
 		return 0.5
-	}
-}
-
-// cmpColLit matches a comparison of a column with a literal, returning
-// the normalized (column, literal, operator-with-column-on-left).
-func cmpColLit(c *core.Cmp) (*core.ColRef, types.Value, string) {
-	if col, ok := c.L.(*core.ColRef); ok {
-		if l, ok := c.R.(*core.Lit); ok {
-			return col, l.V, c.Op
-		}
-	}
-	if col, ok := c.R.(*core.ColRef); ok {
-		if l, ok := c.L.(*core.Lit); ok {
-			return col, l.V, flipOp(c.Op)
-		}
-	}
-	return nil, types.Null, ""
-}
-
-func flipOp(op string) string {
-	switch op {
-	case "<":
-		return ">"
-	case "<=":
-		return ">="
-	case ">":
-		return "<"
-	case ">=":
-		return "<="
-	default:
-		return op
 	}
 }
 

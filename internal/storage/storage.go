@@ -49,9 +49,12 @@ func (t *Table) Cardinality() int { return len(t.Rows) }
 type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
-	// version counts schema changes (Create/Drop). Plans compiled against
-	// one version are invalid under another; the statement plan cache
-	// keys on it.
+	// indexes maps lowercase index name → ordered secondary index
+	// (index.go); nil until the first CreateIndex.
+	indexes map[string]*Index
+	// version counts schema changes (Create/Drop, CreateIndex/DropIndex).
+	// Plans compiled against one version are invalid under another; the
+	// statement plan cache keys on it.
 	version atomic.Uint64
 }
 
@@ -90,6 +93,11 @@ func (c *Catalog) Drop(name string) error {
 		return fmt.Errorf("storage: unknown table %q", name)
 	}
 	delete(c.tables, key)
+	for iname, ix := range c.indexes {
+		if strings.EqualFold(ix.Table, name) {
+			delete(c.indexes, iname)
+		}
+	}
 	c.version.Add(1)
 	return nil
 }

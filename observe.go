@@ -197,6 +197,17 @@ func (db *Database) explainCompiled(ctx context.Context, c *compiled, cfg queryC
 	annot := func(n core.Node) string {
 		e := est[n]
 		s := fmt.Sprintf("(rows=%.0f cost=%.0f)", e.Rows, e.Cost)
+		// Order properties: which ordering the node's output provides
+		// (the planner's interesting-orders currency), and whether an
+		// OrderBy's sort work was elided because the input already
+		// provides it. The [elided] marker on the operator line itself
+		// comes from Describe; "sort elided" here names the why.
+		if ord := core.ProvidedOrdering(n); len(ord) > 0 {
+			s += fmt.Sprintf(" (provides: [%s])", core.FormatOrdering(ord))
+		}
+		if ob, isOrderBy := n.(*core.OrderBy); isOrderBy && ob.Elided {
+			s += " (sort elided)"
+		}
 		if prof != nil {
 			a := prof.Stats(n)
 			s += fmt.Sprintf(" (actual rows=%d loops=%d time=%s)", a.Rows, a.Opens, a.Time.Round(time.Microsecond))

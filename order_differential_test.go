@@ -1,0 +1,103 @@
+package gapplydb_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"gapplydb"
+	"gapplydb/experiments"
+	"gapplydb/replay"
+)
+
+// The order differential pins the ordered-index machinery to its
+// baseline: every plan the order pass touches — index scans replacing
+// heap scans, elided sorts, merge joins, ordered GApply partitioning —
+// must produce byte-identical ordered output to the same statement
+// planned with WithoutIndexes, on both engines, at serial and parallel
+// degrees. Indexes are an access-path choice, never a semantics choice;
+// any divergence here is an order-pass bug.
+
+func TestOrderDifferentialSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential battery skipped in -short mode")
+	}
+	db := integDatabase(t)
+	for _, sq := range experiments.SuiteQueries() {
+		sq := sq
+		t.Run(sq.Name, func(t *testing.T) {
+			for _, dop := range []int{1, 2, 8} {
+				base, err := db.Query(sq.SQL, gapplydb.WithDOP(dop), gapplydb.WithoutIndexes())
+				if err != nil {
+					t.Fatalf("no-index dop %d: %v\n%s", dop, err, sq.SQL)
+				}
+				want := ordered(base)
+				for _, eng := range []struct {
+					name  string
+					extra []gapplydb.QueryOption
+				}{
+					{"batch", nil},
+					{"row", []gapplydb.QueryOption{gapplydb.WithRowExecution()}},
+				} {
+					opts := append([]gapplydb.QueryOption{gapplydb.WithDOP(dop)}, eng.extra...)
+					res, err := db.Query(sq.SQL, opts...)
+					if err != nil {
+						t.Fatalf("indexed %s dop %d: %v\n%s", eng.name, dop, err, sq.SQL)
+					}
+					if d := firstDiff(want, ordered(res)); d != "" {
+						t.Fatalf("%s dop %d: indexed plan diverged from no-index baseline: %s", eng.name, dop, d)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestOrderDifferentialCorpus(t *testing.T) {
+	c, err := replay.Load("testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := integDatabase(t)
+	ctx := context.Background()
+
+	for _, q := range c.Queries {
+		q := q
+		if q.CancelAfterRows > 0 || q.Expect.Error != "" {
+			continue // no deterministic output to compare
+		}
+		for _, dop := range []int{1, 2, 8} {
+			dop := dop
+			if q.DOP > 0 && dop != 1 {
+				continue // degree-pinned queries run once
+			}
+			t.Run(fmt.Sprintf("%s/dop%d", q.Name, dop), func(t *testing.T) {
+				base, err := replay.RunLocalOpts(ctx, db, q, dop, gapplydb.WithoutIndexes())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if base.Code != "" {
+					t.Fatalf("no-index baseline failed: %s: %v", base.Code, base.Err)
+				}
+				for _, eng := range []struct {
+					name  string
+					extra []gapplydb.QueryOption
+				}{
+					{"batch", nil},
+					{"row", []gapplydb.QueryOption{gapplydb.WithRowExecution()}},
+				} {
+					got, err := replay.RunLocalOpts(ctx, db, q, dop, eng.extra...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got.Code != "" {
+						t.Fatalf("indexed %s failed: %s: %v", eng.name, got.Code, got.Err)
+					}
+					if err := replay.DiffRendered(got.Rendered, base.Rendered); err != nil {
+						t.Fatalf("%s: indexed plan diverged from no-index baseline: %v", eng.name, err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -112,6 +112,9 @@ func RunLocalOpts(ctx context.Context, db *gapplydb.Database, q *Query, dop int,
 	if q.MaxOutputRows > 0 {
 		opts = append(opts, gapplydb.WithBudget(gapplydb.Budget{MaxOutputRows: q.MaxOutputRows}))
 	}
+	if q.Partition != "" {
+		opts = append(opts, gapplydb.WithPartition(q.Partition))
+	}
 	opts = append(opts, extra...)
 	start := time.Now()
 	res, err := db.QueryContext(ctx, q.SQL, opts...)

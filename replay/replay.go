@@ -81,6 +81,13 @@ type Query struct {
 	// statement must produce far more output than the transport can
 	// buffer, or the cancel races stream completion.
 	CancelAfterRows int64 `json:"cancel_after_rows,omitempty"`
+	// Partition pins the GApply partitioning strategy ("hash" or "sort")
+	// for local executions. The wire protocol carries no partition knob,
+	// so remote runs use the planner's default — a corpus query that sets
+	// this must be partition-invariant (byte-identical output under either
+	// strategy), which the conformance matrix's local-vs-remote comparison
+	// then enforces rather than assumes.
+	Partition string `json:"partition,omitempty"`
 
 	Expect Expect `json:"expect"`
 
@@ -170,6 +177,9 @@ func Load(dir string) (*Corpus, error) {
 		}
 		if q.Weight < 0 {
 			return nil, fmt.Errorf("replay: %s: negative weight", q.Name)
+		}
+		if q.Partition != "" && q.Partition != "hash" && q.Partition != "sort" {
+			return nil, fmt.Errorf("replay: %s: bad partition %q (want hash or sort)", q.Name, q.Partition)
 		}
 		sqlBytes, err := os.ReadFile(filepath.Join(dir, "sql", q.Name+".sql"))
 		if err != nil {

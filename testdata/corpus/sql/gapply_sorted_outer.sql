@@ -1,0 +1,1 @@
+select gapply(select 0, ps_suppkey, ps_availqty from g union all select 1, null, sum(ps_availqty) from g) from partsupp group by ps_partkey : g

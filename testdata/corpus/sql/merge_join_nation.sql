@@ -1,0 +1,1 @@
+select s_name, n_name, s_acctbal from supplier, nation where s_nationkey = n_nationkey

@@ -1,0 +1,1 @@
+select ps_partkey, ps_suppkey, ps_availqty from partsupp order by ps_suppkey
