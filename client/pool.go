@@ -1,0 +1,307 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// PoolConfig tunes a Pool. The zero value (plus Addr) is usable.
+type PoolConfig struct {
+	// Addr is the gapplyd address every pooled connection dials.
+	Addr string
+	// Size bounds the connections the pool will hold and hand out at
+	// once; Get blocks (or fails with ctx) when all are in use.
+	// Default: 2.
+	Size int
+	// DialTimeout bounds one dial+handshake attempt. Default: 5s.
+	DialTimeout time.Duration
+	// PingInterval is how often the background health loop pings one
+	// idle connection; 0 disables background checking (connections are
+	// still health-checked on Get).
+	PingInterval time.Duration
+	// BackoffMin/BackoffMax bound the redial backoff: after a dial
+	// failure the pool refuses further dials until the backoff window
+	// passes, doubling the window per consecutive failure. Defaults:
+	// 100ms / 5s.
+	BackoffMin, BackoffMax time.Duration
+	// DialOptions are applied to every dial (e.g. WithMaxFrame).
+	DialOptions []DialOption
+}
+
+func (c PoolConfig) withDefaults() PoolConfig {
+	if c.Size <= 0 {
+		c.Size = 2
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.BackoffMin <= 0 {
+		c.BackoffMin = 100 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 5 * time.Second
+	}
+	return c
+}
+
+// ErrPoolClosed reports use of a closed Pool.
+var ErrPoolClosed = errors.New("client: pool closed")
+
+// PoolStats is a point-in-time snapshot of a Pool.
+type PoolStats struct {
+	// Idle and InUse count held connections; Idle+InUse <= Size.
+	Idle, InUse int
+	// Dials and DialFailures count attempts over the pool's lifetime.
+	Dials, DialFailures int64
+	// Unhealthy counts connections discarded by health checks.
+	Unhealthy int64
+}
+
+// Pool is a small bounded connection pool: at most Size connections to
+// one gapplyd server, health-checked and redialed with exponential
+// backoff. Get hands out a connection (dialing if none is idle), Put
+// returns it. The distributed coordinator keeps one Pool per shard;
+// it is exported for any client with the same need.
+//
+// A connection handed out by Get is owned by the caller until Put; the
+// Conn itself still multiplexes, so callers that want concurrent
+// queries on one connection may share it before returning it.
+type Pool struct {
+	cfg PoolConfig
+
+	// slots is a semaphore of width Size: acquire to hold a connection.
+	slots chan struct{}
+
+	mu       sync.Mutex
+	idle     []*Conn
+	closed   bool
+	failures int       // consecutive dial failures
+	nextDial time.Time // dials before this instant fast-fail (backoff)
+	stats    PoolStats
+
+	pingStop chan struct{}
+	pingDone chan struct{}
+}
+
+// NewPool builds a pool. No connection is dialed until the first Get;
+// the background ping loop (if enabled) starts immediately.
+func NewPool(cfg PoolConfig) *Pool {
+	cfg = cfg.withDefaults()
+	p := &Pool{
+		cfg:      cfg,
+		slots:    make(chan struct{}, cfg.Size),
+		pingStop: make(chan struct{}),
+		pingDone: make(chan struct{}),
+	}
+	if cfg.PingInterval > 0 {
+		go p.pingLoop()
+	} else {
+		close(p.pingDone)
+	}
+	return p
+}
+
+// Get returns a healthy connection, dialing one if no idle connection
+// is available. It blocks while all Size connections are in use (ctx
+// cancels the wait). During a redial-backoff window Get fails fast with
+// the window's deadline in the error, so a dead shard cannot stall its
+// callers for DialTimeout per call.
+func (p *Pool) Get(ctx context.Context) (*Conn, error) {
+	select {
+	case p.slots <- struct{}{}:
+	case <-ctx.Done():
+		return nil, context.Cause(ctx)
+	}
+	// Slot acquired; every return path below either hands the slot to
+	// the caller (success) or releases it (failure).
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			<-p.slots
+			return nil, ErrPoolClosed
+		}
+		var c *Conn
+		if n := len(p.idle); n > 0 {
+			c = p.idle[n-1]
+			p.idle = p.idle[:n-1]
+		}
+		p.mu.Unlock()
+		if c == nil {
+			break // dial a fresh one
+		}
+		if c.Healthy() {
+			p.track(func(s *PoolStats) { s.InUse++ })
+			return c, nil
+		}
+		p.track(func(s *PoolStats) { s.Unhealthy++ })
+		c.Close()
+	}
+
+	c, err := p.dial(ctx)
+	if err != nil {
+		<-p.slots
+		return nil, err
+	}
+	p.track(func(s *PoolStats) { s.InUse++ })
+	return c, nil
+}
+
+// dial attempts one connection, honoring and updating the backoff state.
+func (p *Pool) dial(ctx context.Context) (*Conn, error) {
+	p.mu.Lock()
+	if wait := time.Until(p.nextDial); wait > 0 {
+		p.mu.Unlock()
+		return nil, &BackoffError{Wait: wait}
+	}
+	p.stats.Dials++
+	p.mu.Unlock()
+
+	dctx, cancel := context.WithTimeout(ctx, p.cfg.DialTimeout)
+	defer cancel()
+	c, err := DialContext(dctx, p.cfg.Addr, p.cfg.DialOptions...)
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err != nil {
+		p.stats.DialFailures++
+		p.failures++
+		backoff := p.cfg.BackoffMin << (p.failures - 1)
+		if backoff > p.cfg.BackoffMax || backoff <= 0 {
+			backoff = p.cfg.BackoffMax
+		}
+		p.nextDial = time.Now().Add(backoff)
+		return nil, err
+	}
+	p.failures = 0
+	p.nextDial = time.Time{}
+	if p.closed {
+		c.Close()
+		return nil, ErrPoolClosed
+	}
+	return c, nil
+}
+
+// BackoffError reports a Get refused because the pool is inside its
+// redial-backoff window after a dial failure.
+type BackoffError struct{ Wait time.Duration }
+
+func (e *BackoffError) Error() string {
+	return "client: pool in dial backoff for " + e.Wait.String()
+}
+
+// Put returns a connection obtained from Get. An unhealthy connection
+// is closed and discarded (the slot frees either way). Put(nil)
+// releases the slot of a connection the caller closed itself.
+func (p *Pool) Put(c *Conn) {
+	if c != nil {
+		p.mu.Lock()
+		closed := p.closed
+		healthy := c.Healthy()
+		if !closed && healthy {
+			p.idle = append(p.idle, c)
+			c = nil
+		}
+		p.mu.Unlock()
+		if c != nil {
+			c.Close()
+		}
+	}
+	p.track(func(s *PoolStats) { s.InUse-- })
+	<-p.slots
+}
+
+// Healthy reports whether the pool can currently serve connections: it
+// is open, not inside a dial-backoff window, and any idle connection is
+// live. It does not dial.
+func (p *Pool) Healthy() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	if time.Until(p.nextDial) > 0 {
+		return false
+	}
+	for _, c := range p.idle {
+		if !c.Healthy() {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats snapshots the pool's counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.stats
+	st.Idle = len(p.idle)
+	return st
+}
+
+func (p *Pool) track(f func(*PoolStats)) {
+	p.mu.Lock()
+	f(&p.stats)
+	p.mu.Unlock()
+}
+
+// pingLoop health-checks one idle connection per interval, discarding
+// any that fail and thereby forcing the next Get to redial.
+func (p *Pool) pingLoop() {
+	defer close(p.pingDone)
+	t := time.NewTicker(p.cfg.PingInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.pingStop:
+			return
+		case <-t.C:
+		}
+		p.mu.Lock()
+		var c *Conn
+		if n := len(p.idle); n > 0 {
+			c = p.idle[n-1]
+			p.idle = p.idle[:n-1]
+		}
+		p.mu.Unlock()
+		if c == nil {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), p.cfg.DialTimeout)
+		err := c.Ping(ctx)
+		cancel()
+		p.mu.Lock()
+		if err != nil || p.closed {
+			p.stats.Unhealthy++
+			p.mu.Unlock()
+			c.Close()
+			continue
+		}
+		p.idle = append(p.idle, c)
+		p.mu.Unlock()
+	}
+}
+
+// Close closes the pool and its idle connections. Connections currently
+// handed out are closed when Put returns them. Idempotent.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.pingDone
+		return nil
+	}
+	p.closed = true
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	close(p.pingStop)
+	for _, c := range idle {
+		c.Close()
+	}
+	<-p.pingDone
+	return nil
+}

@@ -1,0 +1,173 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"gapplydb/client"
+	"gapplydb/internal/server"
+	"gapplydb/internal/wire"
+)
+
+func TestPoolGetPutReuse(t *testing.T) {
+	srv := startErrServer(t, server.Config{})
+	p := client.NewPool(client.PoolConfig{Addr: srv.Addr().String(), Size: 2})
+	defer p.Close()
+
+	ctx := context.Background()
+	c1, err := p.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+	p.Put(c1)
+	c2, err := p.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != c1 {
+		t.Error("idle connection not reused")
+	}
+	p.Put(c2)
+
+	st := p.Stats()
+	if st.Dials != 1 || st.Idle != 1 || st.InUse != 0 {
+		t.Errorf("stats: %+v", st)
+	}
+	if !p.Healthy() {
+		t.Error("pool with live idle connection reports unhealthy")
+	}
+}
+
+func TestPoolBlocksAtSize(t *testing.T) {
+	srv := startErrServer(t, server.Config{})
+	p := client.NewPool(client.PoolConfig{Addr: srv.Addr().String(), Size: 1})
+	defer p.Close()
+
+	c, err := p.Get(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := p.Get(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("second Get on size-1 pool: %v", err)
+	}
+	p.Put(c)
+	c2, err := p.Get(context.Background())
+	if err != nil {
+		t.Fatalf("Get after Put: %v", err)
+	}
+	p.Put(c2)
+}
+
+func TestPoolRedialBackoff(t *testing.T) {
+	// No server behind this address: every dial fails.
+	p := client.NewPool(client.PoolConfig{
+		Addr:        "127.0.0.1:1", // reserved port, nothing listens
+		Size:        1,
+		DialTimeout: 200 * time.Millisecond,
+		BackoffMin:  50 * time.Millisecond,
+		BackoffMax:  time.Second,
+	})
+	defer p.Close()
+
+	ctx := context.Background()
+	if _, err := p.Get(ctx); err == nil {
+		t.Fatal("dial to dead address succeeded")
+	}
+	// Inside the backoff window the pool fast-fails with a typed error
+	// instead of dialing again.
+	var be *client.BackoffError
+	if _, err := p.Get(ctx); !errors.As(err, &be) {
+		t.Fatalf("want BackoffError inside window, got %v", err)
+	}
+	if p.Healthy() {
+		t.Error("pool in backoff reports healthy")
+	}
+	st := p.Stats()
+	if st.Dials != 1 || st.DialFailures != 1 {
+		t.Errorf("stats after backoff fast-fail: %+v", st)
+	}
+	// After the window passes the pool dials again (and fails again,
+	// doubling the window).
+	time.Sleep(60 * time.Millisecond)
+	if _, err := p.Get(ctx); errors.As(err, &be) {
+		t.Fatalf("backoff window did not expire: %v", err)
+	}
+	if st := p.Stats(); st.Dials != 2 {
+		t.Errorf("expected a second dial attempt: %+v", st)
+	}
+}
+
+func TestPoolDiscardsDeadConnection(t *testing.T) {
+	srv := startErrServer(t, server.Config{})
+	p := client.NewPool(client.PoolConfig{Addr: srv.Addr().String(), Size: 1})
+	defer p.Close()
+
+	c, err := p.Get(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close() // simulate the peer dying while held
+	p.Put(c)  // Put must notice and not pool the corpse
+
+	c2, err := p.Get(context.Background())
+	if err != nil {
+		t.Fatalf("Get after dead Put: %v", err)
+	}
+	if c2 == c {
+		t.Error("dead connection handed back out")
+	}
+	if err := c2.Ping(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	p.Put(c2)
+	if st := p.Stats(); st.Dials != 2 {
+		t.Errorf("expected redial after dead connection: %+v", st)
+	}
+}
+
+func TestPoolClose(t *testing.T) {
+	srv := startErrServer(t, server.Config{})
+	p := client.NewPool(client.PoolConfig{Addr: srv.Addr().String(), Size: 2})
+	c, err := p.Get(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(c)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := p.Get(context.Background()); !errors.Is(err, client.ErrPoolClosed) {
+		t.Fatalf("Get after Close: %v", err)
+	}
+	if p.Healthy() {
+		t.Error("closed pool reports healthy")
+	}
+}
+
+func TestPoolDialOptionsApply(t *testing.T) {
+	srv := startErrServer(t, server.Config{})
+	p := client.NewPool(client.PoolConfig{
+		Addr:        srv.Addr().String(),
+		Size:        1,
+		DialOptions: []client.DialOption{client.WithMaxFrame(wire.MinFrame)},
+	})
+	defer p.Close()
+	c, err := p.Get(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MaxFrame() != wire.MinFrame {
+		t.Errorf("negotiated frame %d, want %d", c.MaxFrame(), wire.MinFrame)
+	}
+	p.Put(c)
+}

@@ -25,6 +25,12 @@
 //	bench -replay testdata/corpus -update   # regenerate the corpus goldens
 //	                         # from an embedded database (deterministic: a
 //	                         # second pass is a no-op)
+//	bench -shards 3 -replay testdata/corpus -json BENCH_10.json
+//	                         # boot an in-process 3-shard cluster (workers +
+//	                         # coordinator + single-node reference), prove the
+//	                         # sharded results byte-identical over the full
+//	                         # evaluation workload and the corpus, then write
+//	                         # the single-node vs sharded latency comparison
 package main
 
 import (
@@ -62,7 +68,19 @@ func main() {
 	traceOn := flag.Bool("trace", false, "with -replay: run conformance with a client-issued trace ID per query and assert the server echoes it")
 	tracesURL := flag.String("traces-http", "", "with -replay -trace: the server's /debug/traces URL; the slowest conformance trace's Chrome export lands in the report")
 	traceJSON := flag.String("trace-json", "", "with -replay -trace: also write the slowest trace's Chrome JSON to this file (e.g. TRACE_7.json)")
+	shardsN := flag.Int("shards", 0, "boot an in-process cluster of this many worker shards plus a coordinator, verify it byte-identical against single-node, and measure both; -json writes the comparison artifact (e.g. BENCH_10.json), -replay adds a corpus conformance subset")
 	flag.Parse()
+
+	if *shardsN > 0 {
+		err := runShards(shardsFlags{
+			shards: *shardsN, sf: *sf, repeats: *repeats,
+			corpus: *replayDir, jsonPath: *jsonPath,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *replayDir != "" {
 		err := runReplay(replayFlags{

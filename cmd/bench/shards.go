@@ -1,0 +1,323 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"gapplydb"
+	"gapplydb/client"
+	"gapplydb/experiments"
+	"gapplydb/internal/coord"
+	"gapplydb/internal/server"
+	"gapplydb/replay"
+)
+
+// shardsFlags configures the -shards mode: boot an in-process cluster
+// (n workers holding hash partitions + a coordinator with a full
+// replica), verify the sharded results byte-identical against a plain
+// single-node server, then measure both deployments and write the
+// comparison artifact (BENCH_10.json).
+type shardsFlags struct {
+	shards   int
+	sf       float64
+	repeats  int
+	corpus   string // replay-corpus dir for the conformance subset ("" = skip)
+	jsonPath string
+}
+
+// shardPerf is one measured query in the artifact.
+type shardPerf struct {
+	Query      string
+	Rows       int64
+	SingleNode time.Duration // min wall over repeats, plain server
+	Sharded    time.Duration // min wall over repeats, coordinator
+	Speedup    float64       // SingleNode / Sharded
+}
+
+// shardsReport is the BENCH_10.json artifact.
+type shardsReport struct {
+	Shards      int
+	ScaleFactor float64
+	Conformance struct {
+		SuiteStatements int // evaluation-workload statements verified byte-identical
+		CorpusQueries   int // replay-corpus runs verified byte-identical
+		Distributed     int64
+		Declined        int64
+	}
+	Perf []shardPerf
+}
+
+// benchCluster is the in-process deployment -shards measures.
+type benchCluster struct {
+	co        *coord.Coordinator
+	servers   []*server.Server
+	conns     []*client.Conn
+	coordConn *client.Conn
+	refConn   *client.Conn
+}
+
+func (c *benchCluster) close() {
+	for _, conn := range c.conns {
+		conn.Close()
+	}
+	if c.co != nil {
+		c.co.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, srv := range c.servers {
+		srv.Shutdown(ctx)
+	}
+}
+
+func (c *benchCluster) startServer(db *gapplydb.Database, cfg server.Config) (*server.Server, error) {
+	srv := server.New(db, cfg)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(lis)
+	for srv.Addr() == nil {
+		time.Sleep(time.Millisecond)
+	}
+	c.servers = append(c.servers, srv)
+	return srv, nil
+}
+
+func (c *benchCluster) dial(srv *server.Server) (*client.Conn, error) {
+	conn, err := client.Dial(srv.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	c.conns = append(c.conns, conn)
+	return conn, nil
+}
+
+func runShards(f shardsFlags) error {
+	fmt.Printf("booting %d-shard cluster at scale factor %g...\n", f.shards, f.sf)
+	start := time.Now()
+	full, err := gapplydb.OpenTPCH(f.sf)
+	if err != nil {
+		return err
+	}
+	defer full.Close()
+
+	c := &benchCluster{}
+	defer c.close()
+	addrs := make([]string, f.shards)
+	for i := 0; i < f.shards; i++ {
+		db, err := gapplydb.OpenTPCHShard(f.sf, i, f.shards)
+		if err != nil {
+			return err
+		}
+		srv, err := c.startServer(db, server.Config{})
+		if err != nil {
+			return err
+		}
+		addrs[i] = srv.Addr().String()
+	}
+	co, err := coord.New(coord.Config{DB: full, Shards: addrs})
+	if err != nil {
+		return err
+	}
+	c.co = co
+	wctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	err = co.WaitReady(wctx)
+	cancel()
+	if err != nil {
+		return err
+	}
+	coordSrv, err := c.startServer(full, server.Config{Distributor: co})
+	if err != nil {
+		return err
+	}
+	refSrv, err := c.startServer(full, server.Config{})
+	if err != nil {
+		return err
+	}
+	if c.coordConn, err = c.dial(coordSrv); err != nil {
+		return err
+	}
+	if c.refConn, err = c.dial(refSrv); err != nil {
+		return err
+	}
+	fmt.Printf("cluster up in %v (%d workers + coordinator + single-node reference)\n\n",
+		time.Since(start).Round(time.Millisecond), f.shards)
+
+	var report shardsReport
+	report.Shards = f.shards
+	report.ScaleFactor = f.sf
+
+	// Phase 1: conformance. Every evaluation-workload statement must be
+	// byte-identical between the coordinator and the single-node server.
+	ctx := context.Background()
+	suite := experiments.SuiteQueries()
+	fmt.Printf("== sharded differential: %d evaluation statements, dop 8 ==\n", len(suite))
+	for _, q := range suite {
+		sharded, err := fetchRendered(ctx, c.coordConn, q.SQL)
+		if err != nil {
+			return fmt.Errorf("%s: sharded: %w", q.Name, err)
+		}
+		single, err := fetchRendered(ctx, c.refConn, q.SQL)
+		if err != nil {
+			return fmt.Errorf("%s: single-node: %w", q.Name, err)
+		}
+		if err := replay.DiffRendered(sharded, single); err != nil {
+			return fmt.Errorf("%s: sharded vs single-node: %w", q.Name, err)
+		}
+	}
+	report.Conformance.SuiteStatements = len(suite)
+	fmt.Printf("all %d statements byte-identical\n\n", len(suite))
+
+	// Replay-corpus conformance subset: every deterministic corpus query
+	// (timing-dependent entries excluded) at every matrix degree.
+	if f.corpus != "" {
+		corpus, err := replay.Load(f.corpus)
+		if err != nil {
+			return err
+		}
+		runs := 0
+		for _, q := range corpus.Queries {
+			if q.TimeoutMS > 0 || q.CancelAfterRows > 0 {
+				continue
+			}
+			for _, dop := range corpus.Workload.Dops {
+				if q.DOP > 0 && dop != corpus.Workload.Dops[0] {
+					continue
+				}
+				sharded, err := replay.RunRemote(ctx, c.coordConn, q, dop)
+				if err != nil {
+					return fmt.Errorf("corpus %s: sharded: %w", q.Name, err)
+				}
+				single, err := replay.RunRemote(ctx, c.refConn, q, dop)
+				if err != nil {
+					return fmt.Errorf("corpus %s: single-node: %w", q.Name, err)
+				}
+				if sharded.Code != single.Code {
+					return fmt.Errorf("corpus %s (dop %d): sharded code %q vs single-node %q",
+						q.Name, dop, sharded.Code, single.Code)
+				}
+				if sharded.Code == "" {
+					if err := replay.DiffRendered(sharded.Rendered, single.Rendered); err != nil {
+						return fmt.Errorf("corpus %s (dop %d): %w", q.Name, dop, err)
+					}
+				}
+				runs++
+			}
+		}
+		report.Conformance.CorpusQueries = runs
+		fmt.Printf("replay corpus: %d conformance runs byte-identical\n\n", runs)
+	}
+
+	st := co.Stats()
+	if st.Distributed == 0 {
+		return fmt.Errorf("conformance ran but no query distributed (declined %d): analyzer or cluster misconfigured", st.Declined)
+	}
+	report.Conformance.Distributed = st.Distributed
+	report.Conformance.Declined = st.Declined
+	fmt.Printf("routing: %d distributed, %d declined to the local replica\n\n", st.Distributed, st.Declined)
+
+	// Phase 2: latency, single-node vs sharded (min over repeats).
+	perfQs := []struct{ name, sql string }{
+		{"figure8/Q1/sou", suite[0].SQL},
+		{"figure8/Q2/sou", suite[2].SQL},
+		{"figure8/Q3/sou", suite[4].SQL},
+		{"scan/partsupp-ordered", "select ps_partkey, ps_suppkey, ps_availqty from partsupp order by ps_suppkey, ps_partkey"},
+		{"agg/partsupp-count", "select count(*), min(ps_supplycost), max(ps_supplycost) from partsupp"},
+	}
+	fmt.Printf("== latency: single-node vs %d-shard (min of %d) ==\n", f.shards, f.repeats)
+	fmt.Printf("%-24s %14s %14s %10s %10s\n", "query", "single-node", "sharded", "speedup", "rows")
+	for _, pq := range perfQs {
+		single, rows, err := timeQuery(ctx, c.refConn, pq.sql, f.repeats)
+		if err != nil {
+			return fmt.Errorf("%s: single-node: %w", pq.name, err)
+		}
+		sharded, _, err := timeQuery(ctx, c.coordConn, pq.sql, f.repeats)
+		if err != nil {
+			return fmt.Errorf("%s: sharded: %w", pq.name, err)
+		}
+		p := shardPerf{
+			Query: pq.name, Rows: rows,
+			SingleNode: single, Sharded: sharded,
+			Speedup: float64(single) / float64(sharded),
+		}
+		report.Perf = append(report.Perf, p)
+		fmt.Printf("%-24s %14v %14v %9.2fx %10d\n",
+			pq.name, single.Round(time.Microsecond), sharded.Round(time.Microsecond), p.Speedup, rows)
+	}
+	fmt.Println()
+
+	if f.jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(f.jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote cluster comparison to %s\n", f.jsonPath)
+	}
+	return nil
+}
+
+// fetchRendered executes one statement at dop 8 and renders the rows in
+// the replay corpus's canonical byte format.
+func fetchRendered(ctx context.Context, conn *client.Conn, sql string) ([]byte, error) {
+	rows, err := conn.Query(ctx, sql, client.WithDOP(8))
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	var all [][]any
+	for {
+		row, ok, err := rows.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		all = append(all, row)
+	}
+	return replay.RenderRows(rows.Columns, all), nil
+}
+
+// timeQuery runs one statement n times and returns the minimum wall
+// time (full stream drain) and the row count.
+func timeQuery(ctx context.Context, conn *client.Conn, sql string, n int) (time.Duration, int64, error) {
+	if n < 1 {
+		n = 1
+	}
+	var best time.Duration
+	var rowCount int64
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		rows, err := conn.Query(ctx, sql, client.WithDOP(8))
+		if err != nil {
+			return 0, 0, err
+		}
+		var count int64
+		for {
+			_, ok, err := rows.Next()
+			if err != nil {
+				rows.Close()
+				return 0, 0, err
+			}
+			if !ok {
+				break
+			}
+			count++
+		}
+		rows.Close()
+		elapsed := time.Since(start)
+		if i == 0 || elapsed < best {
+			best = elapsed
+		}
+		rowCount = count
+	}
+	return best, rowCount, nil
+}

@@ -1,0 +1,549 @@
+package coord_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gapplydb"
+	"gapplydb/client"
+	"gapplydb/experiments"
+	"gapplydb/internal/coord"
+	"gapplydb/internal/server"
+	"gapplydb/internal/wire"
+	"gapplydb/replay"
+	"gapplydb/xmlpub"
+)
+
+// The differential contract under test: a 3-node cluster fronted by a
+// coordinator must be byte-identical — row streams and XML documents —
+// to a single-node server over the full replica, across the Figure 8
+// publishing workload and the replay corpus. The corpus scale factor is
+// pinned (0.001, partsupp holds 800 rows) so shard row counts and
+// aggregate results are exact constants here.
+
+const (
+	clusterShards = 3
+	clusterSF     = 0.001
+)
+
+var (
+	dbOnce   sync.Once
+	dbErr    error
+	fullDB   *gapplydb.Database
+	shardDBs [clusterShards]*gapplydb.Database
+)
+
+// clusterDBs loads the full replica and the three hash-partitioned
+// shards once; the generators are deterministic, so every test shares
+// them. Databases are safe for concurrent queries.
+func clusterDBs(t *testing.T) (*gapplydb.Database, []*gapplydb.Database) {
+	t.Helper()
+	dbOnce.Do(func() {
+		if fullDB, dbErr = gapplydb.OpenTPCH(clusterSF); dbErr != nil {
+			return
+		}
+		for i := range shardDBs {
+			if shardDBs[i], dbErr = gapplydb.OpenTPCHShard(clusterSF, i, clusterShards); dbErr != nil {
+				return
+			}
+		}
+	})
+	if dbErr != nil {
+		t.Fatal(dbErr)
+	}
+	return fullDB, shardDBs[:]
+}
+
+func startServer(t *testing.T, db *gapplydb.Database, cfg server.Config) *server.Server {
+	t.Helper()
+	srv := server.New(db, cfg)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(lis) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		// Lenient: the failure tests kill workers mid-test, so a second
+		// shutdown (or a serve error from the forced close) is expected.
+		srv.Shutdown(ctx)
+		<-serveErr
+	})
+	for srv.Addr() == nil {
+		time.Sleep(time.Millisecond)
+	}
+	return srv
+}
+
+func dialServer(t *testing.T, srv *server.Server) *client.Conn {
+	t.Helper()
+	conn, err := client.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// cluster is one full test deployment: three worker servers over the
+// shard databases, a coordinator server over the full replica with the
+// Distributor wired in, and a plain reference server over the same
+// replica — the single-node baseline every result is diffed against.
+type cluster struct {
+	co        *coord.Coordinator
+	workers   []*server.Server
+	coordSrv  *server.Server
+	refSrv    *server.Server
+	coordConn *client.Conn
+	refConn   *client.Conn
+}
+
+func startCluster(t *testing.T) *cluster {
+	t.Helper()
+	full, shards := clusterDBs(t)
+	cl := &cluster{}
+	addrs := make([]string, clusterShards)
+	for i, db := range shards {
+		srv := startServer(t, db, server.Config{})
+		cl.workers = append(cl.workers, srv)
+		addrs[i] = srv.Addr().String()
+	}
+	co, err := coord.New(coord.Config{DB: full, Shards: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { co.Close() })
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := co.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cl.co = co
+	cl.coordSrv = startServer(t, full, server.Config{Distributor: co})
+	cl.refSrv = startServer(t, full, server.Config{})
+	cl.coordConn = dialServer(t, cl.coordSrv)
+	cl.refConn = dialServer(t, cl.refSrv)
+	return cl
+}
+
+func queryRows(t *testing.T, conn *client.Conn, sql string, opts ...client.QueryOption) ([]string, [][]any) {
+	t.Helper()
+	rows, err := conn.Query(context.Background(), sql, opts...)
+	if err != nil {
+		t.Fatalf("query %q: %v", sql, err)
+	}
+	defer rows.Close()
+	var out [][]any
+	for {
+		row, ok, err := rows.Next()
+		if err != nil {
+			t.Fatalf("next %q: %v", sql, err)
+		}
+		if !ok {
+			return rows.Columns, out
+		}
+		out = append(out, row)
+	}
+}
+
+func queryXML(t *testing.T, conn *client.Conn, sql string, plan *xmlpub.TagPlan, opts ...client.QueryOption) []byte {
+	t.Helper()
+	var doc bytes.Buffer
+	if _, err := conn.QueryXML(context.Background(), sql, plan, &doc, opts...); err != nil {
+		t.Fatalf("xml %q: %v", sql, err)
+	}
+	return doc.Bytes()
+}
+
+// TestClusterCorpusDifferential replays the regression corpus against
+// the coordinator and the single-node reference at every matrix degree
+// and requires byte-identical output (and identical error taxonomy).
+// Timing-dependent corpus entries (timeouts, mid-stream cancels) are
+// excluded: their outcome depends on wall-clock races, not on result
+// bytes, and they have dedicated single-node coverage.
+func TestClusterCorpusDifferential(t *testing.T) {
+	c, err := replay.Load("../../testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := startCluster(t)
+	ctx := context.Background()
+
+	for _, q := range c.Queries {
+		q := q
+		if q.TimeoutMS > 0 || q.CancelAfterRows > 0 {
+			continue
+		}
+		for _, dop := range c.Workload.Dops {
+			dop := dop
+			if q.DOP > 0 && dop != c.Workload.Dops[0] {
+				continue // degree-pinned queries run once
+			}
+			eff := dop
+			if q.DOP > 0 {
+				eff = q.DOP
+			}
+			t.Run(fmt.Sprintf("%s/dop%d", q.Name, eff), func(t *testing.T) {
+				sharded, err := replay.RunRemote(ctx, cl.coordConn, q, dop)
+				if err != nil {
+					t.Fatalf("sharded: %v", err)
+				}
+				single, err := replay.RunRemote(ctx, cl.refConn, q, dop)
+				if err != nil {
+					t.Fatalf("single: %v", err)
+				}
+				if sharded.Code != single.Code {
+					t.Fatalf("divergent outcome: sharded %q (%v) vs single %q (%v)",
+						sharded.Code, sharded.Err, single.Code, single.Err)
+				}
+				if q.Expect.Error != "" {
+					if sharded.Code != q.Expect.Error {
+						t.Fatalf("code = %q, want %q", sharded.Code, q.Expect.Error)
+					}
+					return
+				}
+				if sharded.Code != "" {
+					t.Fatalf("failed with %s: %v", sharded.Code, sharded.Err)
+				}
+				if err := replay.DiffRendered(sharded.Rendered, single.Rendered); err != nil {
+					t.Fatalf("sharded vs single-node: %v", err)
+				}
+				if q.Expect.Golden {
+					want, err := c.Golden(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := replay.DiffRendered(sharded.Rendered, want); err != nil {
+						t.Fatalf("sharded vs golden: %v", err)
+					}
+				}
+			})
+		}
+	}
+	// The suite is only meaningful if the coordinator actually claimed
+	// queries rather than declining everything to the local replica.
+	if st := cl.co.Stats(); st.Distributed == 0 {
+		t.Fatalf("no query distributed across the corpus: %+v", st)
+	}
+}
+
+// TestClusterFigure8Differential runs the paper's publishing queries —
+// both translation strategies, rows and tagged XML — through the
+// cluster and diffs against the single-node server. The sorted
+// outer-union formulations must actually distribute (merge-gather on
+// the outer key); the GApply formulations distribute only when the
+// local plan chose sort partitioning, so they are diffed but their
+// routing is not pinned.
+func TestClusterFigure8Differential(t *testing.T) {
+	cl := startCluster(t)
+	dop := []client.QueryOption{client.WithDOP(8)}
+
+	for _, tc := range []struct {
+		name string
+		q    *xmlpub.FLWR
+	}{
+		{"Q1", xmlpub.Q1()},
+		{"Q2", xmlpub.Q2()},
+		{"Q3", xmlpub.Q3(0.9, 1.1)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sou := tc.q.SortedOuterUnionSQL()
+			before := cl.co.Stats().Distributed
+			cols, rows := queryRows(t, cl.coordConn, sou, dop...)
+			refCols, refRows := queryRows(t, cl.refConn, sou, dop...)
+			if cl.co.Stats().Distributed == before {
+				t.Fatalf("sorted outer union did not distribute")
+			}
+			if err := replay.DiffRendered(replay.RenderRows(cols, rows), replay.RenderRows(refCols, refRows)); err != nil {
+				t.Fatalf("sorted-outer-union rows: %v", err)
+			}
+
+			plan := tc.q.TagPlan()
+			xml := queryXML(t, cl.coordConn, sou, plan, dop...)
+			refXML := queryXML(t, cl.refConn, sou, plan, dop...)
+			if !bytes.Equal(xml, refXML) {
+				t.Fatalf("sorted-outer-union xml differs (%d vs %d bytes)", len(xml), len(refXML))
+			}
+
+			ga := tc.q.GApplySQL()
+			gCols, gRows := queryRows(t, cl.coordConn, ga, dop...)
+			gRefCols, gRefRows := queryRows(t, cl.refConn, ga, dop...)
+			if err := replay.DiffRendered(replay.RenderRows(gCols, gRows), replay.RenderRows(gRefCols, gRefRows)); err != nil {
+				t.Fatalf("gapply rows: %v", err)
+			}
+			gXML := queryXML(t, cl.coordConn, ga, plan, dop...)
+			gRefXML := queryXML(t, cl.refConn, ga, plan, dop...)
+			if !bytes.Equal(gXML, gRefXML) {
+				t.Fatalf("gapply xml differs (%d vs %d bytes)", len(gXML), len(gRefXML))
+			}
+		})
+	}
+}
+
+// TestClusterSuiteDifferential sweeps the entire evaluation workload —
+// every Figure 8, Table 1 and spooling statement the bench harness
+// measures — through the cluster at dop 8 and requires byte-identical
+// rows against the single-node server. Routing is whatever the analyzer
+// proves (distributed or declined); identity must hold either way.
+func TestClusterSuiteDifferential(t *testing.T) {
+	cl := startCluster(t)
+	dop := []client.QueryOption{client.WithDOP(8)}
+
+	for _, q := range experiments.SuiteQueries() {
+		q := q
+		t.Run(q.Name, func(t *testing.T) {
+			cols, rows := queryRows(t, cl.coordConn, q.SQL, dop...)
+			refCols, refRows := queryRows(t, cl.refConn, q.SQL, dop...)
+			if err := replay.DiffRendered(replay.RenderRows(cols, rows), replay.RenderRows(refCols, refRows)); err != nil {
+				t.Fatalf("sharded vs single-node: %v", err)
+			}
+		})
+	}
+	st := cl.co.Stats()
+	if st.Distributed == 0 {
+		t.Fatalf("no statement of the evaluation workload distributed: %+v", st)
+	}
+	t.Logf("suite routing: %d distributed, %d declined", st.Distributed, st.Declined)
+}
+
+// TestClusterPartialAgg distributes a combinable aggregate and checks
+// the combined result against both the single-node server and the
+// corpus's pinned cardinality (partsupp holds exactly 800 rows at this
+// scale).
+func TestClusterPartialAgg(t *testing.T) {
+	cl := startCluster(t)
+	const q = "select count(*), min(ps_supplycost), max(ps_supplycost), sum(ps_availqty) from partsupp"
+
+	before := cl.co.Stats().Distributed
+	cols, rows := queryRows(t, cl.coordConn, q)
+	if cl.co.Stats().Distributed == before {
+		t.Fatal("aggregate did not distribute")
+	}
+	refCols, refRows := queryRows(t, cl.refConn, q)
+	if err := replay.DiffRendered(replay.RenderRows(cols, rows), replay.RenderRows(refCols, refRows)); err != nil {
+		t.Fatalf("sharded vs single-node: %v", err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("aggregate returned %d rows", len(rows))
+	}
+	if got := rows[0][0]; got != int64(800) {
+		t.Fatalf("count(*) over shards = %v, want 800", got)
+	}
+}
+
+// TestClusterMaxOutputRows pins the budget taxonomy through the
+// fan-in: the coordinator enforces the global output-row budget itself
+// (shards can't know the global count), and the client must see the
+// same "resource" error a single-node server produces.
+func TestClusterMaxOutputRows(t *testing.T) {
+	cl := startCluster(t)
+	const q = "select ps_partkey, ps_suppkey from partsupp order by ps_suppkey, ps_partkey"
+
+	codeOf := func(conn *client.Conn) string {
+		rows, err := conn.Query(context.Background(), q, client.WithMaxOutputRows(5))
+		if err == nil {
+			defer rows.Close()
+			for {
+				_, ok, nerr := rows.Next()
+				if nerr != nil {
+					err = nerr
+					break
+				}
+				if !ok {
+					break
+				}
+			}
+		}
+		var se *client.ServerError
+		if !errors.As(err, &se) {
+			t.Fatalf("error %v (%T) is not a ServerError", err, err)
+		}
+		return se.Code
+	}
+
+	before := cl.co.Stats().Distributed
+	sharded := codeOf(cl.coordConn)
+	if cl.co.Stats().Distributed == before {
+		t.Fatal("budgeted query did not distribute")
+	}
+	single := codeOf(cl.refConn)
+	if sharded != wire.CodeResource || sharded != single {
+		t.Fatalf("sharded code %q, single-node code %q, want both %q", sharded, single, wire.CodeResource)
+	}
+}
+
+// TestClusterDeclineRunsLocally: a query the analyzer cannot prove
+// distributable (avg does not combine) must silently run on the
+// coordinator's full replica and still match the single-node server.
+func TestClusterDeclineRunsLocally(t *testing.T) {
+	cl := startCluster(t)
+	const q = "select avg(l_quantity) from lineitem"
+
+	before := cl.co.Stats()
+	cols, rows := queryRows(t, cl.coordConn, q)
+	after := cl.co.Stats()
+	if after.Declined == before.Declined {
+		t.Fatal("avg aggregate was not declined")
+	}
+	if after.Distributed != before.Distributed {
+		t.Fatal("avg aggregate was distributed")
+	}
+	refCols, refRows := queryRows(t, cl.refConn, q)
+	if err := replay.DiffRendered(replay.RenderRows(cols, rows), replay.RenderRows(refCols, refRows)); err != nil {
+		t.Fatalf("declined query vs single-node: %v", err)
+	}
+}
+
+// TestClusterShowShards exercises the status meta-query gsql's \shards
+// command sends through the ordinary query path.
+func TestClusterShowShards(t *testing.T) {
+	cl := startCluster(t)
+	// Run one distributed query first so the fan-out columns are live.
+	queryRows(t, cl.coordConn, "select ps_partkey, ps_suppkey from partsupp order by ps_suppkey, ps_partkey")
+
+	cols, rows := queryRows(t, cl.coordConn, "show shards")
+	if want := []string{"shard", "addr", "healthy", "idle", "in_use", "dials", "dial_failures", "last_rows", "last_strategy"}; len(cols) != len(want) || cols[0] != "shard" || cols[2] != "healthy" {
+		t.Fatalf("columns = %v, want %v", cols, want)
+	}
+	if len(rows) != clusterShards {
+		t.Fatalf("%d status rows, want %d", len(rows), clusterShards)
+	}
+	var fanned int64
+	for i, row := range rows {
+		if row[0] != int64(i) {
+			t.Errorf("row %d shard id = %v", i, row[0])
+		}
+		if row[2] != true {
+			t.Errorf("shard %d not healthy: %v", i, row)
+		}
+		if row[8] != "merge-gather" {
+			t.Errorf("shard %d last_strategy = %v, want merge-gather", i, row[8])
+		}
+		if n, ok := row[7].(int64); ok {
+			fanned += n
+		}
+	}
+	// partsupp's 800 rows are hash-partitioned across the three shards;
+	// the per-shard fan-out counts must reassemble the full table.
+	if fanned != 800 {
+		t.Fatalf("last-query fan-out rows = %d, want 800", fanned)
+	}
+}
+
+// waitActiveDrained polls a server's admission gauge until every query
+// slot is released (or the deadline passes) — the leak check for
+// sibling cancellation.
+func waitActiveDrained(t *testing.T, srv *server.Server, name string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		active := srv.Metrics().Counters["server_queries_active"]
+		if active == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s still has %d active queries after cancel", name, active)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestClusterWorkerFailureMidStream kills one worker while a
+// distributed merge is streaming. The contract: the client gets a typed
+// shard error naming the failed node, the sibling shards' in-flight
+// queries are cancelled (admission slots drain to zero — no leaks), and
+// the cluster degrades: the same query immediately succeeds again via
+// the coordinator's local replica, byte-identical to the single-node
+// answer.
+func TestClusterWorkerFailureMidStream(t *testing.T) {
+	cl := startCluster(t)
+
+	// A result far larger than the wire's buffering (the client's demux
+	// window plus both TCP socket buffers) so no worker can finish
+	// streaming before the kill lands: 64 wide scans of lineitem merged
+	// on the partition key — several MB per shard.
+	const wide = "select l_orderkey, l_partkey, l_suppkey, l_linenumber, l_quantity, l_extendedprice, l_discount from lineitem"
+	var b strings.Builder
+	b.WriteString(wide)
+	for i := 0; i < 63; i++ {
+		b.WriteString(" union all " + wide)
+	}
+	b.WriteString(" order by l_orderkey")
+	q := b.String()
+
+	before := cl.co.Stats()
+	rows, err := cl.coordConn.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if cl.co.Stats().Distributed == before.Distributed {
+		t.Fatal("union merge did not distribute; the kill would test nothing")
+	}
+
+	for i := 0; i < 100; i++ {
+		if _, ok, err := rows.Next(); err != nil || !ok {
+			t.Fatalf("row %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+
+	// Force-kill worker 1: an expired context skips the drain and
+	// cancels in-flight queries, closing their connections.
+	killed, cancel := context.WithCancel(context.Background())
+	cancel()
+	cl.workers[1].Shutdown(killed)
+
+	var streamErr error
+	for streamErr == nil {
+		_, ok, err := rows.Next()
+		if err != nil {
+			streamErr = err
+			break
+		}
+		if !ok {
+			t.Fatal("stream completed cleanly despite the killed worker")
+		}
+	}
+	var se *client.ServerError
+	if !errors.As(streamErr, &se) {
+		t.Fatalf("stream error %v (%T) is not a ServerError", streamErr, streamErr)
+	}
+	if se.Code != wire.CodeShard {
+		t.Fatalf("code = %q (%v), want %q", se.Code, se, wire.CodeShard)
+	}
+	if !strings.Contains(se.Message, "shard 1") {
+		t.Fatalf("error does not name the failed node: %q", se.Message)
+	}
+	rows.Close()
+
+	// Sibling cancellation must free the survivors' admission slots.
+	waitActiveDrained(t, cl.workers[0], "worker 0")
+	waitActiveDrained(t, cl.workers[2], "worker 2")
+	waitActiveDrained(t, cl.coordSrv, "coordinator")
+	if st := cl.co.Stats(); st.Failed == before.Failed {
+		t.Fatalf("shard failure not counted: %+v", st)
+	}
+
+	// Degraded mode: the dead shard makes the next fan-out fail before
+	// it starts, so the coordinator declines and the local replica
+	// answers — still byte-identical to the single-node server.
+	const small = "select ps_partkey, ps_suppkey from partsupp order by ps_suppkey, ps_partkey"
+	preDecline := cl.co.Stats().Declined
+	cols, got := queryRows(t, cl.coordConn, small)
+	if cl.co.Stats().Declined == preDecline {
+		t.Fatal("query against the degraded cluster was not declined to the local replica")
+	}
+	refCols, want := queryRows(t, cl.refConn, small)
+	if err := replay.DiffRendered(replay.RenderRows(cols, got), replay.RenderRows(refCols, want)); err != nil {
+		t.Fatalf("degraded-mode result vs single-node: %v", err)
+	}
+}

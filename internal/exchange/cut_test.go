@@ -1,0 +1,138 @@
+package exchange_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"gapplydb"
+	"gapplydb/internal/exchange"
+	"gapplydb/xmlpub"
+)
+
+var (
+	cutDBOnce sync.Once
+	cutDB     *gapplydb.Database
+	cutDBErr  error
+)
+
+func planDB(t *testing.T) *gapplydb.Database {
+	t.Helper()
+	cutDBOnce.Do(func() {
+		cutDB, cutDBErr = gapplydb.OpenTPCH(0.001)
+	})
+	if cutDBErr != nil {
+		t.Fatal(cutDBErr)
+	}
+	return cutDB
+}
+
+func analyze(t *testing.T, sql string, opts ...gapplydb.QueryOption) exchange.Cut {
+	t.Helper()
+	plan, _, _, err := planDB(t).PlanTrace(sql, opts...)
+	if err != nil {
+		t.Fatalf("plan %q: %v", sql, err)
+	}
+	return exchange.Analyze(plan, exchange.DefaultTPCH(3))
+}
+
+func TestAnalyzeSingleShardForBroadcastOnly(t *testing.T) {
+	c := analyze(t, "select n_name from nation order by n_name")
+	if c.Strategy != exchange.StrategySingleShard {
+		t.Fatalf("broadcast-only plan: %v (%s)", c.Strategy, c.Reason)
+	}
+}
+
+func TestAnalyzeMergeGatherOnPartitionKey(t *testing.T) {
+	c := analyze(t, "select ps_partkey, ps_suppkey from partsupp order by ps_suppkey, ps_partkey")
+	if c.Strategy != exchange.StrategyMergeGather {
+		t.Fatalf("ordered partitioned scan: %v (%s)", c.Strategy, c.Reason)
+	}
+	// ps_suppkey is output ordinal 1 and the partition key.
+	if len(c.Keys) != 2 || c.Keys[0] != (exchange.MergeKey{Ord: 1}) || c.Keys[1] != (exchange.MergeKey{Ord: 0}) {
+		t.Fatalf("merge keys = %+v", c.Keys)
+	}
+}
+
+// The sorted-outer-union translations of the Figure 8 publishing
+// queries are the tentpole workload: ORDER BY the outer key over a
+// UNION ALL of join branches rooted at partsupp. They must distribute
+// as order-preserving merges.
+func TestAnalyzeFigure8SortedOuterUnions(t *testing.T) {
+	for _, q := range []struct {
+		name string
+		sql  string
+	}{
+		{"Q1", xmlpub.Q1().SortedOuterUnionSQL()},
+		{"Q2", xmlpub.Q2().SortedOuterUnionSQL()},
+		{"Q3", xmlpub.Q3(0.9, 1.1).SortedOuterUnionSQL()},
+	} {
+		c := analyze(t, q.sql)
+		if c.Strategy != exchange.StrategyMergeGather {
+			t.Errorf("%s sorted-outer-union: %v (%s)", q.name, c.Strategy, c.Reason)
+		}
+	}
+}
+
+// With partitioning pinned to sort — what the coordinator pins on every
+// shard — the GApply formulations distribute too, merging on the
+// grouping prefix the sort partition provides.
+func TestAnalyzeGApplySortPartitioned(t *testing.T) {
+	c := analyze(t, xmlpub.Q1().GApplySQL(), gapplydb.WithPartition("sort"))
+	if !c.HasGApply {
+		t.Fatal("GApply plan not flagged")
+	}
+	if c.Strategy != exchange.StrategyMergeGather {
+		t.Fatalf("sort-partitioned gapply: %v (%s)", c.Strategy, c.Reason)
+	}
+}
+
+func TestAnalyzeHashGApplyStaysLocal(t *testing.T) {
+	c := analyze(t, xmlpub.Q1().GApplySQL(), gapplydb.WithPartition("hash"))
+	if c.Strategy != exchange.StrategyLocal {
+		t.Fatalf("hash-partitioned gapply distributed: %v", c.Strategy)
+	}
+	if !strings.Contains(c.Reason, "hash") {
+		t.Errorf("reason %q does not name the hash partitioning", c.Reason)
+	}
+}
+
+func TestAnalyzePartialAgg(t *testing.T) {
+	c := analyze(t, "select count(*), min(l_quantity), max(l_quantity), sum(l_orderkey) from lineitem")
+	if c.Strategy != exchange.StrategyPartialAgg {
+		t.Fatalf("combinable aggregates: %v (%s)", c.Strategy, c.Reason)
+	}
+	want := []exchange.CombineFn{exchange.CombineCount, exchange.CombineMin, exchange.CombineMax, exchange.CombineSum}
+	if len(c.Combines) != len(want) {
+		t.Fatalf("combines = %v", c.Combines)
+	}
+	for i := range want {
+		if c.Combines[i] != want[i] {
+			t.Errorf("combine %d = %v, want %v", i, c.Combines[i], want[i])
+		}
+	}
+}
+
+func TestAnalyzeAvgStaysLocal(t *testing.T) {
+	c := analyze(t, "select avg(l_quantity) from lineitem")
+	if c.Strategy != exchange.StrategyLocal {
+		t.Fatalf("avg distributed: %v", c.Strategy)
+	}
+}
+
+func TestAnalyzeNonCoPartitionedJoinStaysLocal(t *testing.T) {
+	// partsupp is partitioned on ps_suppkey, lineitem on l_orderkey:
+	// joining them on partkey scatters matches across shards.
+	c := analyze(t, `select ps_suppkey, l_orderkey from partsupp, lineitem
+		where ps_partkey = l_partkey order by ps_suppkey`)
+	if c.Strategy != exchange.StrategyLocal {
+		t.Fatalf("non-co-partitioned join distributed: %v", c.Strategy)
+	}
+}
+
+func TestAnalyzeUnorderedPartitionedStaysLocal(t *testing.T) {
+	c := analyze(t, "select ps_partkey from partsupp")
+	if c.Strategy != exchange.StrategyLocal {
+		t.Fatalf("unordered partitioned scan distributed: %v", c.Strategy)
+	}
+}

@@ -1,0 +1,140 @@
+// Package exchange analyzes a single-node plan for distributed
+// execution over hash-partitioned shards and provides the
+// order-preserving operators the coordinator needs to reassemble
+// shard streams into the exact single-node output.
+//
+// The contract is the restriction property (P): each shard loads the
+// same deterministic TPC-H stream and keeps only the rows it owns, so
+// a shard's table heap is the global heap restricted to its rows. Cut
+// walks the plan bottom-up proving which operators preserve (P) — for
+// those, the stream a shard produces equals the global stream
+// restricted to the rows that shard owns — and then decides how the
+// root can be reassembled: an ordered merge on a partition-key column,
+// a single designated shard for broadcast-only plans, or a partial
+// aggregate combination. Plans that cannot be proven safe are left to
+// the coordinator's local replica.
+package exchange
+
+import (
+	"fmt"
+	"strings"
+
+	"gapplydb/internal/core"
+	"gapplydb/internal/schema"
+	"gapplydb/internal/tpch"
+)
+
+// Layout describes how base tables are placed across the cluster:
+// tables in PartitionCols are hash-partitioned on the named column;
+// every other table is broadcast (fully replicated on every shard).
+type Layout struct {
+	// TotalShards is the number of worker shards (>= 1).
+	TotalShards int
+	// PartitionCols maps lower-case table name to the lower-case
+	// column the table is hash-partitioned on.
+	PartitionCols map[string]string
+}
+
+// DefaultTPCH is the layout OpenTPCHShard loads: the three large
+// tables partitioned per tpch.PartitionColumns, dimensions broadcast.
+func DefaultTPCH(totalShards int) Layout {
+	return Layout{TotalShards: totalShards, PartitionCols: tpch.PartitionColumns()}
+}
+
+// partitionCol returns the partition column for a table, or "" if the
+// table is broadcast under this layout.
+func (l Layout) partitionCol(table string) string {
+	return l.PartitionCols[strings.ToLower(table)]
+}
+
+// ShuffleKind labels how an Exchange moves rows between nodes.
+type ShuffleKind int
+
+const (
+	// ShuffleMergeGather: ordered k-way merge of per-shard streams on
+	// the merge keys, ties impossible across shards because a key
+	// column is a partition key.
+	ShuffleMergeGather ShuffleKind = iota
+	// ShuffleSingleShard: the whole plan reads only broadcast tables;
+	// run it on one shard and pass the stream through.
+	ShuffleSingleShard
+	// ShufflePartialAgg: each shard computes a partial aggregate row;
+	// the coordinator combines them into the global row.
+	ShufflePartialAgg
+	// ShuffleBroadcast marks a fragment input that is fully replicated
+	// (used in plan description only; broadcast tables are loaded
+	// replicated, never shipped at run time).
+	ShuffleBroadcast
+	// ShuffleHashPartition marks a fragment input hash-partitioned on
+	// a column (again descriptive: partitioning happens at load time).
+	ShuffleHashPartition
+)
+
+func (k ShuffleKind) String() string {
+	switch k {
+	case ShuffleMergeGather:
+		return "merge-gather"
+	case ShuffleSingleShard:
+		return "single-shard"
+	case ShufflePartialAgg:
+		return "partial-agg"
+	case ShuffleBroadcast:
+		return "broadcast"
+	case ShuffleHashPartition:
+		return "hash-partition"
+	default:
+		return fmt.Sprintf("ShuffleKind(%d)", int(k))
+	}
+}
+
+// Exchange is the distributed root operator: it gathers the streams
+// of Shards identical shard-local fragments (Input) back into one
+// global stream according to Kind. It implements core.Node so a
+// distributed plan can be explained and described like any other.
+type Exchange struct {
+	Input  core.Node
+	Kind   ShuffleKind
+	Shards int
+	// Keys are the merge keys (output ordinals) for ShuffleMergeGather.
+	Keys []MergeKey
+}
+
+// Schema implements core.Node: an exchange is transparent.
+func (x *Exchange) Schema() *schema.Schema { return x.Input.Schema() }
+
+// Children implements core.Node.
+func (x *Exchange) Children() []core.Node { return []core.Node{x.Input} }
+
+// WithChildren implements core.Node.
+func (x *Exchange) WithChildren(ch []core.Node) core.Node {
+	cp := *x
+	cp.Input = ch[0]
+	return &cp
+}
+
+// Describe implements core.Node.
+func (x *Exchange) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Exchange[%s, shards=%d", x.Kind, x.Shards)
+	if len(x.Keys) > 0 {
+		b.WriteString(", keys=")
+		for i, k := range x.Keys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "#%d", k.Ord)
+			if k.Desc {
+				b.WriteString(" desc")
+			}
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// MergeKey is one merge-sort key of an order-preserving gather,
+// addressed by output column ordinal.
+type MergeKey struct {
+	Ord  int
+	Desc bool
+}

@@ -1,0 +1,49 @@
+package server
+
+import (
+	"context"
+	"time"
+
+	"gapplydb"
+	"gapplydb/internal/trace"
+)
+
+// RowStream is the result stream a session can frame to its client:
+// either the engine's own *gapplydb.Stream (wrapped by engineStream)
+// or a distributed coordinator's gathered stream. The contract mirrors
+// gapplydb.Stream: single consumer, NextBatch until ok=false or error,
+// Close always (idempotent), Stats/Elapsed valid after exhaustion.
+type RowStream interface {
+	Columns() []string
+	NextBatch() ([][]any, bool, error)
+	Close() error
+	Stats() gapplydb.ExecStats
+	Elapsed() time.Duration
+}
+
+// DistOptions carries one query's effective execution options (session
+// defaults already folded in) to a Distributor.
+type DistOptions struct {
+	Timeout           time.Duration
+	MaxOutputRows     int64
+	MaxPartitionBytes int64
+	DOP               int
+	// TraceID is the query's trace identity (zero = untraced); a
+	// distributor fans it out so the shards' traces join one tree.
+	TraceID trace.ID
+}
+
+// Distributor intercepts queries for distributed execution. Distribute
+// either claims the query (handled=true, streaming its gathered result)
+// or declines (handled=false, nil error) to let the session run it on
+// the local database — the coordinator's full local replica, so
+// declining is always correct, just not scaled out. A non-nil error is
+// only returned for failures of a claimed query's setup.
+type Distributor interface {
+	Distribute(ctx context.Context, query string, opts DistOptions) (RowStream, bool, error)
+}
+
+// engineStream adapts *gapplydb.Stream (Columns is a field) to RowStream.
+type engineStream struct{ *gapplydb.Stream }
+
+func (s engineStream) Columns() []string { return s.Stream.Columns }

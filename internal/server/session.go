@@ -48,6 +48,10 @@ type session struct {
 	ctx    context.Context // session root; cancel tears down every query
 	cancel context.CancelFunc
 
+	// maxFrame is the session's frame limit: the server's configured
+	// maximum until the handshake, the negotiated value after.
+	maxFrame int
+
 	mu       sync.Mutex
 	opts     sessionOptions
 	inflight map[uint64]context.CancelFunc
@@ -61,6 +65,8 @@ func newSession(s *Server, conn net.Conn) *session {
 		srv: s, conn: conn,
 		br: bufio.NewReaderSize(conn, 64<<10),
 		bw: bufio.NewWriterSize(conn, 64<<10),
+
+		maxFrame: s.cfg.MaxFrame,
 
 		ctx: ctx, cancel: cancel,
 		inflight: make(map[uint64]context.CancelFunc),
@@ -113,7 +119,7 @@ func (s *session) serve() {
 		return
 	}
 	for {
-		t, payload, err := wire.ReadFrame(s.br, s.srv.cfg.MaxFrame)
+		t, payload, err := wire.ReadFrame(s.br, s.maxFrame)
 		if err != nil {
 			if errors.Is(err, wire.ErrFrameTooLarge) {
 				// The stream position is unrecoverable past an oversized
@@ -142,7 +148,7 @@ func (s *session) handshake() error {
 		s.writeError(0, wire.CodeProtocol, "expected hello")
 		return fmt.Errorf("expected hello, got %v", t)
 	}
-	version, err := wire.DecodeHello(payload)
+	version, clientMax, err := wire.DecodeHello(payload)
 	if err != nil {
 		s.writeError(0, wire.CodeProtocol, err.Error())
 		return err
@@ -152,7 +158,13 @@ func (s *session) handshake() error {
 			fmt.Sprintf("protocol version %d unsupported (want %d)", version, wire.ProtocolVersion))
 		return fmt.Errorf("version mismatch: %d", version)
 	}
-	return s.writeFrame(wire.TypeWelcome, wire.EncodeWelcome(s.srv.cfg.Banner))
+	negotiated, err := wire.NegotiateFrame(s.srv.cfg.MaxFrame, clientMax)
+	if err != nil {
+		s.writeError(0, wire.CodeProtocol, err.Error())
+		return err
+	}
+	s.maxFrame = negotiated
+	return s.writeFrame(wire.TypeWelcome, wire.EncodeWelcomeMax(s.srv.cfg.Banner, negotiated))
 }
 
 // dispatch routes one frame. A returned error poisons the session.
@@ -316,42 +328,79 @@ func (s *session) drain() {
 	s.conn.Close() // unblocks the read loop; serve() finishes teardown
 }
 
+// effOpts are one query's fully resolved execution options: session
+// defaults folded under the query's own.
+type effOpts struct {
+	timeout           time.Duration
+	maxOutputRows     int64
+	maxPartitionBytes int64
+	dop               int
+	partition         string
+	forceRules        []string
+	disableRules      []string
+	explain           bool // statement is (or became) an EXPLAIN
+}
+
+// pinned reports whether the client pinned planner decisions —
+// distribution is skipped so the pins take effect literally.
+func (e *effOpts) pinned() bool {
+	return e.partition != "" || len(e.forceRules) > 0 || len(e.disableRules) > 0
+}
+
+// engineOptions renders the resolved options for the embedded engine.
+func (e *effOpts) engineOptions() []gapplydb.QueryOption {
+	var opts []gapplydb.QueryOption
+	if e.timeout > 0 || e.maxOutputRows > 0 || e.maxPartitionBytes > 0 {
+		opts = append(opts, gapplydb.WithBudget(gapplydb.Budget{
+			Timeout: e.timeout, MaxOutputRows: e.maxOutputRows, MaxPartitionBytes: e.maxPartitionBytes,
+		}))
+	}
+	if e.dop != 0 {
+		opts = append(opts, gapplydb.WithDOP(e.dop))
+	}
+	if e.partition != "" {
+		opts = append(opts, gapplydb.WithPartition(e.partition))
+	}
+	for _, r := range e.forceRules {
+		opts = append(opts, gapplydb.ForceRule(r))
+	}
+	for _, r := range e.disableRules {
+		opts = append(opts, gapplydb.WithoutRule(r))
+	}
+	return opts
+}
+
 // effectiveOptions folds session defaults under the query's own
-// options and renders them as engine QueryOptions plus the effective
-// statement text (the session explain mode may prefix it).
-func (s *session) effectiveOptions(m *wire.QueryMsg) (string, []gapplydb.QueryOption) {
+// options, returning the effective statement text (the session explain
+// mode may prefix it) and the resolved options.
+func (s *session) effectiveOptions(m *wire.QueryMsg) (string, effOpts) {
 	s.mu.Lock()
 	so := s.opts
 	s.mu.Unlock()
 
-	timeout := so.timeout
+	eff := effOpts{
+		timeout:           so.timeout,
+		maxOutputRows:     so.maxOutputRows,
+		maxPartitionBytes: so.maxPartitionBytes,
+		dop:               so.dop,
+		partition:         m.Opts.Partition,
+		forceRules:        m.Opts.ForceRules,
+		disableRules:      m.Opts.DisableRules,
+	}
 	if m.Opts.Timeout > 0 {
-		timeout = m.Opts.Timeout
+		eff.timeout = m.Opts.Timeout
 	}
-	maxRows := so.maxOutputRows
 	if m.Opts.MaxOutputRows > 0 {
-		maxRows = m.Opts.MaxOutputRows
+		eff.maxOutputRows = m.Opts.MaxOutputRows
 	}
-	maxBytes := so.maxPartitionBytes
 	if m.Opts.MaxPartitionBytes > 0 {
-		maxBytes = m.Opts.MaxPartitionBytes
+		eff.maxPartitionBytes = m.Opts.MaxPartitionBytes
 	}
-	dop := so.dop
 	switch {
 	case m.Opts.DOP > 0:
-		dop = int(m.Opts.DOP)
+		eff.dop = int(m.Opts.DOP)
 	case m.Opts.DOP < 0: // explicit engine default, overriding session dop
-		dop = 0
-	}
-
-	var opts []gapplydb.QueryOption
-	if timeout > 0 || maxRows > 0 || maxBytes > 0 {
-		opts = append(opts, gapplydb.WithBudget(gapplydb.Budget{
-			Timeout: timeout, MaxOutputRows: maxRows, MaxPartitionBytes: maxBytes,
-		}))
-	}
-	if dop != 0 {
-		opts = append(opts, gapplydb.WithDOP(dop))
+		eff.dop = 0
 	}
 
 	query := m.SQL
@@ -362,7 +411,8 @@ func (s *session) effectiveOptions(m *wire.QueryMsg) (string, []gapplydb.QueryOp
 			query = "explain " + query
 		}
 	}
-	return query, opts
+	eff.explain = hasExplainPrefix(query)
+	return query, eff
 }
 
 func hasExplainPrefix(q string) bool {
@@ -425,7 +475,44 @@ func (s *session) runQuery(ctx context.Context, m *wire.QueryMsg) {
 	s.srv.reg.Counter("server_queries_active").Inc()
 	defer s.srv.reg.Counter("server_queries_active").Add(-1)
 
-	query, opts := s.effectiveOptions(m)
+	query, eff := s.effectiveOptions(m)
+
+	// Distributed path: a coordinator gets first claim on every plain
+	// query. EXPLAIN and client-pinned queries stay local (the local
+	// database is the coordinator's full replica, so local is always
+	// correct); a declined query falls through for the same reason.
+	if d := s.srv.cfg.Distributor; d != nil && !eff.explain && !eff.pinned() {
+		ds, handled, err := d.Distribute(ctx, query, DistOptions{
+			Timeout:           eff.timeout,
+			MaxOutputRows:     eff.maxOutputRows,
+			MaxPartitionBytes: eff.maxPartitionBytes,
+			DOP:               eff.dop,
+			TraceID:           tid,
+		})
+		if err != nil {
+			s.srv.reg.Counter("server_query_errors").Inc()
+			s.writeErrorTraced(m.ID, errorCode(err), err.Error(), tid)
+			if tb != nil {
+				s.srv.db.Traces().Record(tb.Finish("error", err.Error()))
+			}
+			return
+		}
+		if handled {
+			defer ds.Close()
+			if tb != nil {
+				tb.SetQuery(query)
+				defer func() { s.srv.db.Traces().Record(tb.Finish("ok", "")) }()
+			}
+			if m.Opts.XML {
+				s.streamXML(m.ID, ds, m.Opts.TagPlan, tid)
+				return
+			}
+			s.streamRows(m.ID, ds, tid)
+			return
+		}
+	}
+
+	opts := eff.engineOptions()
 	if tb != nil {
 		tb.SetQuery(query) // session explain mode may have prefixed it
 		opts = append(opts, gapplydb.WithTraceBuilder(tb))
@@ -439,19 +526,20 @@ func (s *session) runQuery(ctx context.Context, m *wire.QueryMsg) {
 	defer stream.Close()
 
 	if m.Opts.XML {
-		s.streamXML(m.ID, stream, m.Opts.TagPlan, tid)
+		s.streamXML(m.ID, engineStream{stream}, m.Opts.TagPlan, tid)
 		return
 	}
-	s.streamRows(m.ID, stream, tid)
+	s.streamRows(m.ID, engineStream{stream}, tid)
 }
 
 // streamRows sends the header, then row batches, then End (or Error).
-func (s *session) streamRows(id uint64, stream *gapplydb.Stream, tid trace.ID) {
-	h := wire.RowHeaderMsg{ID: id, Columns: stream.Columns}
+func (s *session) streamRows(id uint64, stream RowStream, tid trace.ID) {
+	cols := stream.Columns()
+	h := wire.RowHeaderMsg{ID: id, Columns: cols}
 	if err := s.writeFrame(wire.TypeRowHeader, h.Encode()); err != nil {
 		return // connection gone; teardown cancels the stream
 	}
-	ncols := len(stream.Columns)
+	ncols := len(cols)
 	var (
 		batch      [][]any
 		batchBytes int
@@ -507,7 +595,7 @@ func (s *session) streamRows(id uint64, stream *gapplydb.Stream, tid trace.ID) {
 
 // streamXML pipes the result through the constant-space tagger into
 // XMLChunk frames — the whole document never exists server-side.
-func (s *session) streamXML(id uint64, stream *gapplydb.Stream, planJSON []byte, tid trace.ID) {
+func (s *session) streamXML(id uint64, stream RowStream, planJSON []byte, tid trace.ID) {
 	var plan xmlpub.TagPlan
 	if err := json.Unmarshal(planJSON, &plan); err != nil {
 		s.writeErrorTraced(id, wire.CodeProtocol, "bad tag plan: "+err.Error(), tid)

@@ -48,12 +48,12 @@ func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
 // generator scales them linearly, except nation and region which are
 // fixed by the spec.
 const (
-	baseSuppliers = 10_000
-	basePfarts    = 0 // placeholder to keep the constant block aligned
-	baseParts     = 200_000
-	baseCustomers = 150_000
-	baseOrders    = 1_500_000
-	suppsPerPart  = 4 // partsupp has 4 suppliers per part
+	baseSuppliers    = 10_000
+	basePfarts       = 0 // placeholder to keep the constant block aligned
+	baseParts        = 200_000
+	baseCustomers    = 150_000
+	baseOrders       = 1_500_000
+	suppsPerPart     = 4 // partsupp has 4 suppliers per part
 	maxLinesPerOrder = 7
 )
 
@@ -106,6 +106,18 @@ func SizesFor(sf float64) Sizes {
 // given scale factor. It is the single entry point used by the engine's
 // LoadTPCH, the examples and the benchmark harness.
 func Load(cat *storage.Catalog, sf float64) error {
+	return load(cat, sf, keepAll)
+}
+
+// keepFunc decides whether a generated row is stored. The generator
+// always draws the full deterministic row stream and applies keep only
+// at the Append, so a filtered load (a shard) sees the exact global
+// generation order restricted to its rows.
+type keepFunc func(table string, row types.Row) bool
+
+func keepAll(string, types.Row) bool { return true }
+
+func load(cat *storage.Catalog, sf float64, keep keepFunc) error {
 	sz := SizesFor(sf)
 	if err := loadRegion(cat); err != nil {
 		return err
@@ -119,16 +131,16 @@ func Load(cat *storage.Catalog, sf float64) error {
 	if err := loadPart(cat, sz); err != nil {
 		return err
 	}
-	if err := loadPartSupp(cat, sz); err != nil {
+	if err := loadPartSupp(cat, sz, keep); err != nil {
 		return err
 	}
 	if err := loadCustomer(cat, sz); err != nil {
 		return err
 	}
-	if err := loadOrders(cat, sz); err != nil {
+	if err := loadOrders(cat, sz, keep); err != nil {
 		return err
 	}
-	return loadLineitem(cat, sz)
+	return loadLineitem(cat, sz, keep)
 }
 
 func col(name string, k types.Kind) schema.Column { return schema.Column{Name: name, Type: k} }
@@ -250,7 +262,7 @@ func loadPart(cat *storage.Catalog, sz Sizes) error {
 	return nil
 }
 
-func loadPartSupp(cat *storage.Catalog, sz Sizes) error {
+func loadPartSupp(cat *storage.Catalog, sz Sizes, keep keepFunc) error {
 	t, err := cat.Create(&schema.TableDef{
 		Name: "partsupp",
 		Schema: schema.New(
@@ -282,6 +294,9 @@ func loadPartSupp(cat *storage.Catalog, sz Sizes) error {
 				types.NewInt(supp),
 				types.NewInt(r.rangeInt(1, 9999)),
 				types.NewFloat(float64(r.rangeInt(100, 100000)) / 100),
+			}
+			if !keep("partsupp", row) {
+				continue
 			}
 			if err := t.Append(row); err != nil {
 				return err
@@ -326,7 +341,7 @@ func loadCustomer(cat *storage.Catalog, sz Sizes) error {
 	return nil
 }
 
-func loadOrders(cat *storage.Catalog, sz Sizes) error {
+func loadOrders(cat *storage.Catalog, sz Sizes, keep keepFunc) error {
 	t, err := cat.Create(&schema.TableDef{
 		Name: "orders",
 		Schema: schema.New(
@@ -354,6 +369,9 @@ func loadOrders(cat *storage.Catalog, sz Sizes) error {
 			types.NewFloat(float64(r.rangeInt(90000, 50000000)) / 100),
 			types.NewDate(r.rangeInt(8035, 10591)), // 1992-01-01 .. 1998-12-31 as day numbers
 		}
+		if !keep("orders", row) {
+			continue
+		}
 		if err := t.Append(row); err != nil {
 			return err
 		}
@@ -361,7 +379,7 @@ func loadOrders(cat *storage.Catalog, sz Sizes) error {
 	return nil
 }
 
-func loadLineitem(cat *storage.Catalog, sz Sizes) error {
+func loadLineitem(cat *storage.Catalog, sz Sizes, keep keepFunc) error {
 	t, err := cat.Create(&schema.TableDef{
 		Name: "lineitem",
 		Schema: schema.New(
@@ -397,6 +415,9 @@ func loadLineitem(cat *storage.Catalog, sz Sizes) error {
 				types.NewInt(qty),
 				types.NewFloat(partPrice(part) * float64(qty)),
 				types.NewFloat(float64(r.rangeInt(0, 10)) / 100),
+			}
+			if !keep("lineitem", row) {
+				continue
 			}
 			if err := t.Append(row); err != nil {
 				return err

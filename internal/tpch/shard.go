@@ -1,0 +1,82 @@
+package tpch
+
+import (
+	"fmt"
+
+	"gapplydb/internal/storage"
+	"gapplydb/internal/types"
+)
+
+// Sharded loading. A shard holds a horizontal slice of the TPC-H data
+// set: the large fact tables are hash-partitioned on the column the
+// distributed GApply workload groups or joins them by, and the small
+// dimension tables are replicated ("broadcast") to every shard, so a
+// shard-local query over fact ⋈ dimension needs no data movement.
+//
+// The loader generates the exact same deterministic row stream as the
+// unsharded Load and simply skips rows another shard owns. That detail
+// carries the distributed engine's byte-identity proof: each shard's
+// heap order is the global heap order restricted to the shard's rows,
+// so any operator tree that preserves "restriction of the global
+// stream" per shard can be re-merged into exactly the single-node
+// output by an ordered gather on a partition-key column.
+
+// fnvOffset is the FNV-1a offset basis, the seed ShardOf hashes from.
+const fnvOffset = 14695981039346656037
+
+// PartitionColumns maps each hash-partitioned table to its partition
+// column. Tables absent from the map (region, nation, supplier,
+// customer, part) are broadcast: every shard holds a full copy.
+//
+// The partition columns follow the publishing workload: partsupp is
+// grouped and ordered by supplier (the paper's Figure 8 queries),
+// lineitem nests under its order, and orders nest under their customer.
+func PartitionColumns() map[string]string {
+	return map[string]string{
+		"partsupp": "ps_suppkey",
+		"lineitem": "l_orderkey",
+		"orders":   "o_custkey",
+	}
+}
+
+// partitionOrds gives the ordinal of each partition column in the
+// generator's table schemas (kept in sync with the Create calls in
+// gen.go; the shard tests assert the correspondence).
+var partitionOrds = map[string]int{
+	"partsupp": 1, // ps_suppkey
+	"lineitem": 0, // l_orderkey
+	"orders":   1, // o_custkey
+}
+
+// ShardOf maps a partition-key value to its owning shard in [0,
+// totalShards). The mapping hashes the value's canonical image (the
+// same one the engine's hash partitioner uses), so INT 5 and FLOAT 5.0
+// land on the same shard.
+func ShardOf(v types.Value, totalShards int) int {
+	if totalShards <= 1 {
+		return 0
+	}
+	return int(v.Hash(fnvOffset) % uint64(totalShards))
+}
+
+// LoadShard populates the catalog with shard `shard` of a
+// totalShards-way partitioned TPC-H load at the given scale factor:
+// broadcast tables in full, partitioned tables restricted to the rows
+// ShardOf assigns to this shard, in exactly the global generation
+// order. LoadShard(cat, sf, 0, 1) is identical to Load(cat, sf).
+func LoadShard(cat *storage.Catalog, sf float64, shard, totalShards int) error {
+	if totalShards < 1 {
+		return fmt.Errorf("tpch: totalShards must be >= 1 (got %d)", totalShards)
+	}
+	if shard < 0 || shard >= totalShards {
+		return fmt.Errorf("tpch: shard %d out of range [0,%d)", shard, totalShards)
+	}
+	keep := func(table string, row types.Row) bool {
+		ord, ok := partitionOrds[table]
+		if !ok || totalShards == 1 {
+			return true
+		}
+		return ShardOf(row[ord], totalShards) == shard
+	}
+	return load(cat, sf, keep)
+}

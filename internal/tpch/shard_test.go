@@ -1,0 +1,167 @@
+package tpch
+
+import (
+	"testing"
+
+	"gapplydb/internal/storage"
+	"gapplydb/internal/types"
+)
+
+func loadFull(t *testing.T, sf float64) *storage.Catalog {
+	t.Helper()
+	cat := storage.NewCatalog()
+	if err := Load(cat, sf); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return cat
+}
+
+func loadOneShard(t *testing.T, sf float64, shard, total int) *storage.Catalog {
+	t.Helper()
+	cat := storage.NewCatalog()
+	if err := LoadShard(cat, sf, shard, total); err != nil {
+		t.Fatalf("LoadShard(%d/%d): %v", shard, total, err)
+	}
+	return cat
+}
+
+func tableRows(t *testing.T, cat *storage.Catalog, name string) []types.Row {
+	t.Helper()
+	tab, err := cat.Lookup(name)
+	if err != nil {
+		t.Fatalf("Lookup(%s): %v", name, err)
+	}
+	return tab.Rows
+}
+
+// TestPartitionOrdsMatchSchema pins the hand-maintained ordinal map to
+// the generator's actual schemas.
+func TestPartitionOrdsMatchSchema(t *testing.T) {
+	cat := loadFull(t, 0.001)
+	for table, colName := range PartitionColumns() {
+		tab, err := cat.Lookup(table)
+		if err != nil {
+			t.Fatalf("Lookup(%s): %v", table, err)
+		}
+		ord := -1
+		for i, c := range tab.Def.Schema.Cols {
+			if c.Name == colName {
+				ord = i
+				break
+			}
+		}
+		if ord != partitionOrds[table] {
+			t.Errorf("%s: partition col %s at ordinal %d, partitionOrds says %d",
+				table, colName, ord, partitionOrds[table])
+		}
+	}
+}
+
+// TestShardsPartitionAndCover verifies the core restriction property:
+// each partitioned table's shard slices are disjoint, owned by ShardOf,
+// and interleave back into exactly the global generation order.
+func TestShardsPartitionAndCover(t *testing.T) {
+	const sf = 0.001
+	const total = 3
+	full := loadFull(t, sf)
+	shards := make([]*storage.Catalog, total)
+	for i := range shards {
+		shards[i] = loadOneShard(t, sf, i, total)
+	}
+
+	for table, ord := range partitionOrds {
+		global := tableRows(t, full, table)
+		cursors := make([][]types.Row, total)
+		for i, sc := range shards {
+			cursors[i] = tableRows(t, sc, table)
+		}
+		// Walk the global stream; each row must be the next row of
+		// exactly the shard ShardOf assigns it to.
+		pos := make([]int, total)
+		for gi, row := range global {
+			owner := ShardOf(row[ord], total)
+			if pos[owner] >= len(cursors[owner]) {
+				t.Fatalf("%s: global row %d owner shard %d exhausted early", table, gi, owner)
+			}
+			got := cursors[owner][pos[owner]]
+			if !rowsEqual(got, row) {
+				t.Fatalf("%s: global row %d != shard %d row %d", table, gi, owner, pos[owner])
+			}
+			pos[owner]++
+		}
+		for i := range pos {
+			if pos[i] != len(cursors[i]) {
+				t.Fatalf("%s: shard %d has %d extra rows", table, i, len(cursors[i])-pos[i])
+			}
+		}
+	}
+}
+
+// TestBroadcastTablesReplicated checks dimension tables are full copies
+// on every shard.
+func TestBroadcastTablesReplicated(t *testing.T) {
+	const sf = 0.001
+	full := loadFull(t, sf)
+	shard := loadOneShard(t, sf, 1, 3)
+	for _, table := range []string{"region", "nation", "supplier", "customer", "part"} {
+		g := tableRows(t, full, table)
+		s := tableRows(t, shard, table)
+		if len(g) != len(s) {
+			t.Fatalf("%s: full %d rows, shard copy %d rows", table, len(g), len(s))
+		}
+		for i := range g {
+			if !rowsEqual(g[i], s[i]) {
+				t.Fatalf("%s: row %d differs between full load and shard copy", table, i)
+			}
+		}
+	}
+}
+
+// TestSingleShardIdentical pins LoadShard(cat, sf, 0, 1) == Load(cat, sf).
+func TestSingleShardIdentical(t *testing.T) {
+	const sf = 0.001
+	full := loadFull(t, sf)
+	one := loadOneShard(t, sf, 0, 1)
+	for table := range partitionOrds {
+		g := tableRows(t, full, table)
+		s := tableRows(t, one, table)
+		if len(g) != len(s) {
+			t.Fatalf("%s: %d vs %d rows", table, len(g), len(s))
+		}
+		for i := range g {
+			if !rowsEqual(g[i], s[i]) {
+				t.Fatalf("%s: row %d differs", table, i)
+			}
+		}
+	}
+}
+
+func TestLoadShardValidation(t *testing.T) {
+	cat := storage.NewCatalog()
+	if err := LoadShard(cat, 0.001, 0, 0); err == nil {
+		t.Error("totalShards=0 accepted")
+	}
+	if err := LoadShard(cat, 0.001, 3, 3); err == nil {
+		t.Error("shard==totalShards accepted")
+	}
+	if err := LoadShard(cat, 0.001, -1, 3); err == nil {
+		t.Error("negative shard accepted")
+	}
+}
+
+func rowsEqual(a, b types.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		c, ok := types.Compare(a[i], b[i])
+		if !ok || c != 0 {
+			// NULLs compare unequal via Compare; fall back to kind check.
+			if a[i].IsNull() && b[i].IsNull() {
+				continue
+			}
+			return false
+		}
+	}
+	return true
+}

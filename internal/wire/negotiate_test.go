@@ -1,0 +1,110 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestHelloWelcomeByteCompat pins the zero-value handshake payloads to
+// the pre-negotiation format: a peer that never proposes a custom frame
+// limit puts exactly the old bytes on the wire.
+func TestHelloWelcomeByteCompat(t *testing.T) {
+	var oldHello Enc
+	oldHello.U32(Magic)
+	oldHello.U32(ProtocolVersion)
+	if !bytes.Equal(EncodeHello(), oldHello.B) {
+		t.Errorf("EncodeHello changed: %x != %x", EncodeHello(), oldHello.B)
+	}
+	if !bytes.Equal(EncodeHelloMax(0), oldHello.B) {
+		t.Errorf("EncodeHelloMax(0) not byte-compatible")
+	}
+	if !bytes.Equal(EncodeHelloMax(DefaultMaxFrame), oldHello.B) {
+		t.Errorf("EncodeHelloMax(DefaultMaxFrame) not byte-compatible")
+	}
+
+	var oldWelcome Enc
+	oldWelcome.U32(ProtocolVersion)
+	oldWelcome.Str("b")
+	if !bytes.Equal(EncodeWelcome("b"), oldWelcome.B) {
+		t.Errorf("EncodeWelcome changed")
+	}
+	if !bytes.Equal(EncodeWelcomeMax("b", DefaultMaxFrame), oldWelcome.B) {
+		t.Errorf("EncodeWelcomeMax(DefaultMaxFrame) not byte-compatible")
+	}
+}
+
+func TestHelloMaxRoundTrip(t *testing.T) {
+	const proposed = 256 << 10
+	v, mf, err := DecodeHello(EncodeHelloMax(proposed))
+	if err != nil || v != ProtocolVersion || mf != proposed {
+		t.Fatalf("v=%d maxFrame=%d err=%v", v, mf, err)
+	}
+	v, banner, mf, err := DecodeWelcome(EncodeWelcomeMax("srv", proposed))
+	if err != nil || v != ProtocolVersion || banner != "srv" || mf != proposed {
+		t.Fatalf("welcome: v=%d banner=%q maxFrame=%d err=%v", v, banner, mf, err)
+	}
+}
+
+func TestNegotiateFrame(t *testing.T) {
+	cases := []struct {
+		a, b, want int
+		err        bool
+	}{
+		{0, 0, DefaultMaxFrame, false},
+		{0, 1 << 20, 1 << 20, false},
+		{2 << 20, 0, 2 << 20, false},
+		{1 << 20, 2 << 20, 1 << 20, false},
+		{MinFrame, 8 << 20, MinFrame, false},
+		{1024, 0, 0, true}, // below MinFrame
+	}
+	for _, c := range cases {
+		got, err := NegotiateFrame(c.a, c.b)
+		if c.err {
+			var fe *FrameSizeError
+			if !errors.As(err, &fe) {
+				t.Errorf("NegotiateFrame(%d,%d): want FrameSizeError, got %v", c.a, c.b, err)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("NegotiateFrame(%d,%d) = %d, %v; want %d", c.a, c.b, got, err, c.want)
+		}
+	}
+}
+
+// TestQueryOptionsExtension round-trips the distributed plan pins and
+// pins byte-compatibility: a query without pins encodes exactly as
+// before the extension existed.
+func TestQueryOptionsExtension(t *testing.T) {
+	plain := &QueryMsg{ID: 7, SQL: "select 1"}
+	got, err := DecodeQuery(plain.Encode())
+	if err != nil || !reflect.DeepEqual(got, plain) {
+		t.Fatalf("plain round-trip: %+v err=%v", got, err)
+	}
+
+	m := &QueryMsg{ID: 9, SQL: "select * from partsupp"}
+	m.Opts.Partition = "sort"
+	m.Opts.ForceRules = []string{"gapply-to-groupby"}
+	m.Opts.DisableRules = []string{"invariant-grouping", "push-down-selections"}
+	got, err = DecodeQuery(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Opts.Partition != "sort" ||
+		!reflect.DeepEqual(got.Opts.ForceRules, m.Opts.ForceRules) ||
+		!reflect.DeepEqual(got.Opts.DisableRules, m.Opts.DisableRules) {
+		t.Fatalf("pins lost: %+v", got.Opts)
+	}
+
+	// Pins compose with a trace ID (the positional trace field stays
+	// aligned whether or not the ID is set).
+	var id [16]byte
+	id[0] = 0xaa
+	m.Trace = id
+	got, err = DecodeQuery(m.Encode())
+	if err != nil || got.Trace != id || got.Opts.Partition != "sort" {
+		t.Fatalf("pins+trace: trace=%x partition=%q err=%v", got.Trace, got.Opts.Partition, err)
+	}
+}

@@ -136,19 +136,19 @@ func TestRowBatchRoundTrip(t *testing.T) {
 }
 
 func TestHandshakeMessages(t *testing.T) {
-	v, err := DecodeHello(EncodeHello())
-	if err != nil || v != ProtocolVersion {
-		t.Fatalf("hello: v=%d err=%v", v, err)
+	v, mf, err := DecodeHello(EncodeHello())
+	if err != nil || v != ProtocolVersion || mf != DefaultMaxFrame {
+		t.Fatalf("hello: v=%d maxFrame=%d err=%v", v, mf, err)
 	}
 	var bad Enc
 	bad.U32(0xdeadbeef)
 	bad.U32(ProtocolVersion)
-	if _, err := DecodeHello(bad.B); err == nil {
+	if _, _, err := DecodeHello(bad.B); err == nil {
 		t.Fatal("bad magic accepted")
 	}
-	v, banner, err := DecodeWelcome(EncodeWelcome("gapplyd test"))
-	if err != nil || v != ProtocolVersion || banner != "gapplyd test" {
-		t.Fatalf("welcome: v=%d banner=%q err=%v", v, banner, err)
+	v, banner, mf, err := DecodeWelcome(EncodeWelcome("gapplyd test"))
+	if err != nil || v != ProtocolVersion || banner != "gapplyd test" || mf != DefaultMaxFrame {
+		t.Fatalf("welcome: v=%d banner=%q maxFrame=%d err=%v", v, banner, mf, err)
 	}
 }
 
